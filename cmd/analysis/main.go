@@ -1,0 +1,58 @@
+// Command analysis prints the paper's closed-form results: Table 1
+// (expected contention phases before the data frame is sent) and the
+// Figure 5 series (expected total contention phases versus receiver
+// count), including a Monte-Carlo validation column for the fₙ
+// recurrence.
+//
+// Usage:
+//
+//	analysis [-maxn N] [-p P] [-q Q] [-mc trials]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"relmac/internal/analysis"
+	"relmac/internal/capture"
+	"relmac/internal/experiments"
+	"relmac/internal/report"
+)
+
+func main() {
+	maxN := flag.Int("maxn", 25, "largest receiver count for the Figure 5 series")
+	p := flag.Float64("p", 0.9, "per-round per-receiver success probability (Figure 5)")
+	q := flag.Float64("q", 0.05, "per-receiver CTS-miss probability (Table 1)")
+	mc := flag.Int("mc", 50000, "Monte-Carlo trials validating f_n (0 disables)")
+	flag.Parse()
+
+	experiments.TableOne().Render(os.Stdout)
+
+	// Extra Table 1 rows at the requested q, for exploration beyond the
+	// paper's two parameter sets.
+	extra := report.NewTable(fmt.Sprintf("Expected contention phases before data (q=%g)", *q),
+		"n", "|S'|", "BMMM", "LAMM", "BMW", "BSMA")
+	for _, n := range []int{2, 5, 10, 15, 20} {
+		cover := (n + 1) / 2
+		r := analysis.ExpectedCPBeforeData(*q, n, cover, capture.ZorziRao{})
+		extra.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", cover), r.BMMM, r.LAMM, r.BMW, r.BSMA)
+	}
+	extra.Render(os.Stdout)
+
+	fig5 := report.NewTable(
+		fmt.Sprintf("Figure 5: expected number of contention phases (p=%g)", *p),
+		"n", "BMMM/LAMM (f_n)", "BMW (n/p)", "f_n Monte-Carlo")
+	rng := rand.New(rand.NewSource(1))
+	for n := 1; n <= *maxN; n++ {
+		fn := analysis.ExpectedRounds(n, *p)
+		bmw := analysis.BMWExpectedRounds(n, *p)
+		mcv := "-"
+		if *mc > 0 {
+			mcv = fmt.Sprintf("%.3f", analysis.SimulateRounds(n, *p, *mc, rng))
+		}
+		fig5.AddRow(fmt.Sprintf("%d", n), fn, bmw, mcv)
+	}
+	fig5.Render(os.Stdout)
+}

@@ -1,0 +1,145 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation: Table 1, Figure 2 (frame timelines), Figure 5 (analysis)
+// and Figures 6–10 (simulation sweeps). Results print as ASCII tables
+// and are additionally written as CSV files under -out.
+//
+// Usage:
+//
+//	experiments -exp all -runs 100            # full fidelity (slow)
+//	experiments -exp fig6a -runs 10           # one figure, reduced runs
+//	experiments -exp table1,fig5              # analysis only (instant)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"relmac/internal/experiments"
+	"relmac/internal/report"
+)
+
+func main() {
+	exp := flag.String("exp", "all",
+		"comma-separated experiments: table1,fig2,fig5,fig6a,fig6b,fig7,fig8,fig9a,fig9b,fig10a,fig10b,density,rate,all, plus extensions: mobility,gpserr,overhead")
+	runs := flag.Int("runs", 10, "simulation runs per plotted point (paper: 100)")
+	slots := flag.Int("slots", 10000, "simulated slots per run")
+	out := flag.String("out", "results", "directory for CSV output (empty disables)")
+	withPlain := flag.Bool("plain80211", false, "include the stock unreliable 802.11 multicast")
+	flag.Parse()
+
+	o := experiments.Options{Runs: *runs, Slots: *slots}
+	if *withPlain {
+		o.Protocols = experiments.AllProtocols
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(strings.ToLower(e))] = true
+	}
+	all := want["all"]
+	anyDensity := all || want["density"] || want["fig6a"] || want["fig9a"] || want["fig10a"]
+	anyRate := all || want["rate"] || want["fig6b"] || want["fig9b"] || want["fig10b"]
+
+	emit := func(tb *report.Table, csvName string) {
+		tb.Render(os.Stdout)
+		if *out != "" {
+			path := filepath.Join(*out, csvName)
+			if err := tb.WriteCSV(path); err != nil {
+				fmt.Fprintf(os.Stderr, "writing %s: %v\n", path, err)
+				os.Exit(1)
+			}
+			fmt.Printf("(csv: %s)\n\n", path)
+		}
+	}
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if all || want["table1"] {
+		emit(experiments.TableOne(), "table1.csv")
+	}
+	if all || want["fig2"] {
+		text, err := experiments.Fig2()
+		fail(err)
+		fmt.Println(text)
+		if *out != "" {
+			fail(os.MkdirAll(*out, 0o755))
+			fail(os.WriteFile(filepath.Join(*out, "fig2.txt"), []byte(text), 0o644))
+		}
+	}
+	if all || want["fig5"] {
+		emit(experiments.Fig5(25), "fig5.csv")
+	}
+	if anyDensity {
+		start := time.Now()
+		f6a, f9a, f10a, err := experiments.Density(o)
+		fail(err)
+		fmt.Printf("(density sweep: %d runs/point, %v)\n", *runs, time.Since(start).Round(time.Second))
+		if all || want["density"] || want["fig6a"] {
+			emit(f6a, "fig6a.csv")
+		}
+		if all || want["density"] || want["fig9a"] {
+			emit(f9a, "fig9a.csv")
+		}
+		if all || want["density"] || want["fig10a"] {
+			emit(f10a, "fig10a.csv")
+		}
+	}
+	if anyRate {
+		start := time.Now()
+		f6b, f9b, f10b, err := experiments.Rate(o)
+		fail(err)
+		fmt.Printf("(rate sweep: %d runs/point, %v)\n", *runs, time.Since(start).Round(time.Second))
+		if all || want["rate"] || want["fig6b"] {
+			emit(f6b, "fig6b.csv")
+		}
+		if all || want["rate"] || want["fig9b"] {
+			emit(f9b, "fig9b.csv")
+		}
+		if all || want["rate"] || want["fig10b"] {
+			emit(f10b, "fig10b.csv")
+		}
+	}
+	if all || want["fig7"] {
+		start := time.Now()
+		tb, err := experiments.Fig7(o)
+		fail(err)
+		fmt.Printf("(timeout sweep: %v)\n", time.Since(start).Round(time.Second))
+		emit(tb, "fig7.csv")
+	}
+	if want["mobility"] {
+		start := time.Now()
+		tb, err := experiments.Mobility(o)
+		fail(err)
+		fmt.Printf("(mobility sweep: %v)\n", time.Since(start).Round(time.Second))
+		emit(tb, "mobility.csv")
+	}
+	if want["overhead"] {
+		start := time.Now()
+		tb, err := experiments.Overhead(o)
+		fail(err)
+		fmt.Printf("(overhead sweep: %v)\n", time.Since(start).Round(time.Second))
+		emit(tb, "overhead.csv")
+	}
+	if want["gpserr"] {
+		start := time.Now()
+		tb, err := experiments.LocationError(o)
+		fail(err)
+		fmt.Printf("(gps-error sweep: %v)\n", time.Since(start).Round(time.Second))
+		emit(tb, "gpserr.csv")
+	}
+	if all || want["fig8"] {
+		start := time.Now()
+		tb, err := experiments.Fig8(o)
+		fail(err)
+		fmt.Printf("(threshold sweep: %v)\n", time.Since(start).Round(time.Second))
+		emit(tb, "fig8.csv")
+	}
+}

@@ -1,0 +1,130 @@
+// Command macsim runs one-off wireless LAN simulations of the reliable
+// multicast MAC protocols (802.11 plain multicast, BSMA, BMW, BMMM,
+// LAMM) and prints the paper's metrics: successful delivery rate,
+// average contention phases and average message completion time.
+//
+// Usage:
+//
+//	macsim -protocol LAMM -nodes 100 -slots 10000 -runs 10
+//	macsim -protocol all -rate 0.001 -capture sir
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relmac/internal/capture"
+	"relmac/internal/chart"
+	"relmac/internal/experiments"
+	"relmac/internal/mac"
+	"relmac/internal/metrics"
+	"relmac/internal/report"
+	"relmac/internal/sim"
+	"relmac/internal/topo"
+	"relmac/internal/traffic"
+
+	mrand "math/rand"
+)
+
+func main() {
+	proto := flag.String("protocol", "all", "protocol to simulate: 802.11|BSMA|BMW|BMMM|LAMM|KK-Leader|all|extended")
+	nodes := flag.Int("nodes", 100, "number of stations in the unit square")
+	radius := flag.Float64("radius", 0.2, "transmission radius")
+	slots := flag.Int("slots", 10000, "simulated slots")
+	timeout := flag.Int("timeout", 100, "upper-layer message timeout in slots")
+	rate := flag.Float64("rate", 0.0005, "message generation rate per node per slot")
+	threshold := flag.Float64("threshold", 0.9, "reliability threshold for success")
+	capName := flag.String("capture", "zorzi-rao", "capture model: none|zorzi-rao|sir")
+	runs := flag.Int("runs", 10, "independent runs to average")
+	seed := flag.Int64("seed", 1, "base random seed")
+	chartSlots := flag.Int("chart", 0, "render an ASCII channel-occupancy chart of the first N slots (single protocol, single run)")
+	flag.Parse()
+
+	capModel, ok := capture.ByName(*capName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown capture model %q\n", *capName)
+		os.Exit(2)
+	}
+	var protos []experiments.Protocol
+	switch {
+	case strings.EqualFold(*proto, "all"):
+		protos = experiments.AllProtocols
+	case strings.EqualFold(*proto, "extended"):
+		protos = experiments.ExtendedProtocols
+	default:
+		found := false
+		for _, p := range experiments.ExtendedProtocols {
+			if strings.EqualFold(string(p), *proto) ||
+				(strings.EqualFold(*proto, "plain") && p == experiments.Plain80211) {
+				protos = []experiments.Protocol{p}
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "unknown protocol %q\n", *proto)
+			os.Exit(2)
+		}
+	}
+
+	if *chartSlots > 0 {
+		renderChart(protos[0], *nodes, *radius, *rate, *timeout, capModel, *seed, *chartSlots)
+		return
+	}
+
+	tb := report.NewTable(
+		fmt.Sprintf("macsim: %d nodes, r=%g, %d slots, rate=%g, timeout=%d, capture=%s, %d run(s)",
+			*nodes, *radius, *slots, *rate, *timeout, capModel.Name(), *runs),
+		"protocol", "messages", "delivery rate", "avg contentions", "avg completion", "delivered frac")
+	for _, p := range protos {
+		var agg metrics.SummaryStats
+		for r := 0; r < *runs; r++ {
+			cfg := experiments.Defaults(p, *seed+int64(r))
+			cfg.Nodes = *nodes
+			cfg.Radius = *radius
+			cfg.Slots = *slots
+			cfg.Timeout = *timeout
+			cfg.Rate = *rate
+			cfg.Threshold = *threshold
+			cfg.Capture = capModel
+			res, err := experiments.Run(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			agg.Add(res.Summary)
+		}
+		tb.AddRow(string(p), agg.Messages,
+			fmt.Sprintf("%.3f ±%.3f", agg.SuccessRate.Mean(), agg.SuccessRate.CI95()),
+			fmt.Sprintf("%.2f", agg.AvgContentions.Mean()),
+			fmt.Sprintf("%.1f", agg.AvgCompletionTime.Mean()),
+			fmt.Sprintf("%.3f", agg.MeanDeliveredFraction.Mean()))
+	}
+	tb.Render(os.Stdout)
+}
+
+// renderChart runs one simulation with the channel-occupancy tracer and
+// prints the diagram of the first chartSlots slots.
+func renderChart(p experiments.Protocol, nodes int, radius, rate float64,
+	timeout int, capModel capture.Model, seed int64, chartSlots int) {
+	factory, err := experiments.Factory(p, mac.DefaultConfig())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	rng := mrand.New(mrand.NewSource(seed))
+	tp := topo.Uniform(nodes, radius, rng)
+	ch := chart.New(tp.N(), 0, sim.Slot(chartSlots-1))
+	ch.ShowLosses = true
+	eng := sim.New(sim.Config{Topo: tp, Capture: capModel, Seed: seed, Tracer: ch})
+	eng.AttachMACs(factory)
+	gen := traffic.NewGenerator(tp)
+	gen.Rate = rate
+	gen.Timeout = timeout
+	eng.Run(chartSlots, gen)
+	fmt.Printf("%s on %d stations, first %d slots:\n\n", p, tp.N(), chartSlots)
+	ch.Render(os.Stdout)
+	fmt.Println("\n" + chart.Legend())
+}

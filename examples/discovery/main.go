@@ -1,0 +1,86 @@
+// Discovery: the substrate the paper takes for granted, made visible.
+// Stations learn their neighbors (and, for LAMM, their neighbors'
+// positions) purely from periodic beacon frames — then the nodes start
+// moving, and the tables go stale between beacons.
+//
+// The example runs 25 stations with random-waypoint mobility, beaconing
+// every 200 slots, and reports how discovered neighbor sets track the
+// true ones over time.
+//
+// Run with:
+//
+//	go run ./examples/discovery
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"relmac/internal/baseline/dcf"
+	"relmac/internal/beacon"
+	"relmac/internal/mac"
+	"relmac/internal/mobility"
+	"relmac/internal/sim"
+	"relmac/internal/topo"
+)
+
+func main() {
+	const (
+		nodes   = 25
+		radius  = 0.25
+		period  = 200 // beacon interval, slots
+		speed   = 0.0004
+		horizon = 3000
+	)
+	rng := rand.New(rand.NewSource(7))
+	model := mobility.NewWaypoint(nodes, speed, speed, 0, rng)
+	driver := &mobility.Driver{Model: model, Radius: radius, BeaconEvery: 25}
+	tp := topo.FromPoints(model.Positions(), radius)
+
+	eng := sim.New(sim.Config{Topo: tp, Seed: 3, SlotHook: driver.Hook()})
+	inner := dcf.NewPlain(mac.DefaultConfig())
+	stations := make([]*beacon.Station, nodes)
+	eng.AttachMACs(func(node int, env *sim.Env) sim.MAC {
+		st := beacon.Wrap(inner(node, env), node, period)
+		stations[node] = st
+		return st
+	})
+
+	fmt.Printf("%d mobile stations, beacon every %d slots, speed %g units/slot\n\n",
+		nodes, period, speed)
+	fmt.Println("  slot | discovered/true neighbor overlap | avg position error")
+	for step := 0; step < horizon/500; step++ {
+		eng.Run(500, nil)
+		now := eng.Now()
+		cur := eng.Topo()
+		var overlap, truth, posErr float64
+		var entries int
+		for i, st := range stations {
+			discovered := st.Table().Neighbors(now, 3*period)
+			trueNb := map[int]bool{}
+			for _, j := range cur.Neighbors(i) {
+				trueNb[j] = true
+			}
+			truth += float64(len(trueNb))
+			for _, id := range discovered {
+				if trueNb[id] {
+					overlap++
+				}
+				posErr += st.Table().Lookup(id).Pos.Dist(cur.Pos(id))
+				entries++
+			}
+		}
+		ratio := 0.0
+		if truth > 0 {
+			ratio = overlap / truth
+		}
+		meanErr := 0.0
+		if entries > 0 {
+			meanErr = posErr / float64(entries)
+		}
+		fmt.Printf("  %4d | %29.1f%% | %.4f units\n", now, 100*ratio, meanErr)
+	}
+	fmt.Println("\nDiscovered sets track the moving truth to within the beacon")
+	fmt.Println("period; position error stays around speed × period — the exact")
+	fmt.Println("staleness the LAMM location-error ablation tolerates.")
+}

@@ -1,0 +1,3 @@
+module relmac
+
+go 1.22

@@ -1,0 +1,258 @@
+package relmac_test
+
+// End-to-end integration tests: full simulations across all protocols,
+// checking the cross-protocol invariants the paper's evaluation rests on
+// and injecting channel failures.
+
+import (
+	"math/rand"
+	"testing"
+
+	"relmac/internal/capture"
+	"relmac/internal/experiments"
+	"relmac/internal/mac"
+	"relmac/internal/metrics"
+	"relmac/internal/prototest"
+	"relmac/internal/sim"
+	"relmac/internal/topo"
+	"relmac/internal/traffic"
+)
+
+// runShort executes a reduced default run for a protocol.
+func runShort(t testing.TB, p experiments.Protocol, seed int64,
+	mutate func(*experiments.RunConfig)) experiments.RunResult {
+	t.Helper()
+	cfg := experiments.Defaults(p, seed)
+	cfg.Slots = 3000
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	res, err := experiments.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// Reliable protocols must not report success without delivery: for BMW,
+// BMMM and LAMM a sender-completed message implies a delivered fraction
+// consistent with the protocol's guarantee.
+func TestReliableProtocolsCompleteHonestly(t *testing.T) {
+	for _, p := range []experiments.Protocol{experiments.BMW, experiments.BMMM} {
+		res := runShort(t, p, 11, nil)
+		for _, rec := range res.Collector.Records() {
+			if rec.Kind == sim.Unicast || !rec.Completed {
+				continue
+			}
+			// BMW and BMMM only complete after an ACK from every intended
+			// receiver, and ACKs require the data frame: full delivery.
+			if rec.Delivered != rec.Intended {
+				t.Fatalf("%s: message %d completed with %d/%d delivered",
+					p, rec.ID, rec.Delivered, rec.Intended)
+			}
+		}
+	}
+}
+
+// LAMM may complete without explicit ACKs from covered receivers, but
+// under a collision-only channel the covered receivers still hold the
+// data (Theorem 3) — with no jamming and no ErrRate, completed LAMM
+// messages must be fully delivered too.
+func TestLAMMTheorem3HoldsOnCollisionOnlyChannel(t *testing.T) {
+	res := runShort(t, experiments.LAMM, 13, func(cfg *experiments.RunConfig) {
+		cfg.Capture = capture.None{} // capture can fake ACK reception ordering
+	})
+	completed, violations := 0, 0
+	for _, rec := range res.Collector.Records() {
+		if rec.Kind == sim.Unicast || !rec.Completed {
+			continue
+		}
+		completed++
+		if rec.Delivered != rec.Intended {
+			violations++
+			t.Logf("message %d: %d/%d delivered", rec.ID, rec.Delivered, rec.Intended)
+		}
+	}
+	if completed == 0 {
+		t.Fatal("no completed multicasts; test is vacuous")
+	}
+	if violations > 0 {
+		t.Errorf("%d of %d completed LAMM messages violated Theorem 3 on a collision-only channel",
+			violations, completed)
+	}
+}
+
+// BSMA and the stock 802.11 multicast are allowed to complete without
+// delivering — that is the paper's §3 critique. Verify our BSMA exhibits
+// the documented behaviour at least occasionally under load.
+func TestUnreliableProtocolsOverreport(t *testing.T) {
+	res := runShort(t, experiments.BSMA, 17, func(cfg *experiments.RunConfig) {
+		cfg.Rate = 0.0015
+	})
+	over := 0
+	for _, rec := range res.Collector.Records() {
+		if rec.Kind != sim.Unicast && rec.Completed && rec.Delivered < rec.Intended {
+			over++
+		}
+	}
+	if over == 0 {
+		t.Error("BSMA never completed with missing receivers; the §3 critique should be visible")
+	}
+}
+
+// Under per-frame erasures every protocol still works, and the reliable
+// ones keep their completion-implies-delivery property only in the
+// absence of erasures — with erasures, BMW/BMMM must keep retrying
+// instead of silently succeeding: delivered fraction of completed
+// messages stays 1.
+func TestErasureInjection(t *testing.T) {
+	for _, p := range []experiments.Protocol{experiments.BMW, experiments.BMMM} {
+		res := runShort(t, p, 19, func(cfg *experiments.RunConfig) {
+			cfg.ErrRate = 0.05
+		})
+		for _, rec := range res.Collector.Records() {
+			if rec.Kind == sim.Unicast || !rec.Completed {
+				continue
+			}
+			if rec.Delivered != rec.Intended {
+				t.Fatalf("%s with erasures: completed message %d delivered %d/%d",
+					p, rec.ID, rec.Delivered, rec.Intended)
+			}
+		}
+	}
+}
+
+// The unicast background must behave identically across protocol stacks
+// (all serve unicast through the same DCF machinery).
+func TestUnicastParityAcrossProtocols(t *testing.T) {
+	base := ""
+	for _, p := range experiments.AllProtocols {
+		res := runShort(t, p, 23, nil)
+		s := res.Collector.Summarize(0.9, metrics.Filter{Kinds: []sim.Kind{sim.Unicast}, Horizon: 3000})
+		if s.Messages == 0 {
+			t.Fatalf("%s: no unicast messages", p)
+		}
+		// Unicast success should be high and similar everywhere; protocols
+		// differ only through interactions with group traffic.
+		if s.SuccessRate < 0.7 {
+			t.Errorf("%s: unicast success %.3f implausibly low", p, s.SuccessRate)
+		}
+		_ = base
+	}
+}
+
+// Messages are conserved: submitted = completed + aborted + still-pending
+// for every protocol.
+func TestMessageConservation(t *testing.T) {
+	for _, p := range experiments.AllProtocols {
+		res := runShort(t, p, 29, nil)
+		var completed, aborted, pending int
+		for _, rec := range res.Collector.Records() {
+			switch {
+			case rec.Completed:
+				completed++
+			case rec.Aborted:
+				aborted++
+			default:
+				pending++
+			}
+		}
+		total := len(res.Collector.Records())
+		if completed+aborted+pending != total {
+			t.Fatalf("%s: conservation broken", p)
+		}
+		if completed == 0 {
+			t.Errorf("%s: nothing completed in 3000 slots", p)
+		}
+		// Pending messages can only be ones still inside their deadline
+		// window near the end of the run — bounded by the traffic of the
+		// last ~timeout slots plus queue backlog; generously bound it.
+		if pending > total/2 {
+			t.Errorf("%s: %d of %d messages stuck pending", p, pending, total)
+		}
+	}
+}
+
+// Randomised conformance sweep: many small random topologies with random
+// jam patterns; per-protocol safety invariants must hold in every one.
+//
+//   - BMW/BMMM: completion implies full delivery (their ACK discipline);
+//   - every protocol: no panics, conservation of messages, and no
+//     delivery records for non-intended receivers.
+func TestConformanceRandomised(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomised sweep")
+	}
+	rng := rand.New(rand.NewSource(2026))
+	for trial := 0; trial < 25; trial++ {
+		n := 6 + rng.Intn(10)
+		radius := 0.18 + rng.Float64()*0.2
+		tp := topo.Uniform(n, radius, rng)
+		// Pick a sender with neighbors.
+		sender := -1
+		for i := 0; i < tp.N(); i++ {
+			if tp.Degree(i) > 0 {
+				sender = i
+				break
+			}
+		}
+		if sender < 0 {
+			continue
+		}
+		dests := append([]int(nil), tp.Neighbors(sender)...)
+		for _, p := range []experiments.Protocol{
+			experiments.BMW, experiments.BMMM, experiments.LAMM, experiments.KKLeader,
+		} {
+			factory, err := experiments.Factory(p, mac.DefaultConfig())
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := metrics.NewCollector()
+			eng := sim.New(sim.Config{
+				Topo: tp, Observer: col, Seed: int64(trial), Capture: capture.ZorziRao{},
+			})
+			eng.AttachMACs(factory)
+			// Random jammer: replace one non-participant station if any.
+			jammerID := -1
+			for i := 0; i < tp.N(); i++ {
+				if i != sender && !contains(dests, i) {
+					jammerID = i
+					break
+				}
+			}
+			if jammerID >= 0 {
+				jam := prototest.NewJammer()
+				for k, m := 0, 1+rng.Intn(6); k < m; k++ {
+					jam.JamAt(sim.Slot(rng.Intn(60)))
+				}
+				eng.SetMAC(jammerID, jam)
+			}
+			script := traffic.NewScript()
+			script.At(2, &sim.Request{
+				ID: 1, Kind: sim.Multicast, Src: sender, Dests: dests,
+				Deadline: 2 + 400,
+			})
+			eng.Run(600, script)
+
+			rec := col.Records()[0]
+			if rec.Delivered > rec.Intended {
+				t.Fatalf("trial %d %s: delivered %d > intended %d",
+					trial, p, rec.Delivered, rec.Intended)
+			}
+			if (p == experiments.BMW || p == experiments.BMMM) &&
+				rec.Completed && rec.Delivered != rec.Intended {
+				t.Fatalf("trial %d %s: completed with %d/%d delivered",
+					trial, p, rec.Delivered, rec.Intended)
+			}
+		}
+	}
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,202 @@
+// Package analysis implements the closed-form results of the paper's §6:
+//
+//   - the expected number of contention phases a sender spends before it
+//     can transmit the data frame, for BMMM, LAMM, BMW and BSMA
+//     (reproducing Table 1);
+//   - the recurrence fₙ for the expected total number of contention
+//     phases BMMM/LAMM need to serve a multicast with n receivers when
+//     each receiver independently succeeds with probability p per round
+//     (reproducing Figure 5);
+//   - a Monte-Carlo estimator of the same quantity, used to validate the
+//     recurrence.
+package analysis
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"relmac/internal/capture"
+)
+
+// ExpectedCPBeforeData returns the expected number of contention phases
+// before the sender transmits the data frame, for the four protocols.
+// q is the per-receiver probability that the sender misses the CTS for
+// reasons other than CTS collision (RTS error/collision, receiver
+// yielding, CTS error — §6). n is the number of intended receivers and
+// cover the size of LAMM's minimum cover set |S'|. The BSMA column uses
+// cap for the DS capture probability C_k.
+//
+// The formulas (paper §6):
+//
+//	BMMM: 1/(1-qⁿ)        — data goes out unless every CTS is missing
+//	LAMM: 1/(1-q^|S'|)
+//	BMW:  1/(1-q)          — one receiver polled at a time
+//	BSMA: 1/Σₖ C(n,k)(1-q)ᵏ qⁿ⁻ᵏ·C_k — the k CTS replies collide and
+//	      must be captured
+type CPBeforeData struct {
+	BMMM, LAMM, BMW, BSMA float64
+}
+
+// ExpectedCPBeforeData computes all four columns of Table 1.
+func ExpectedCPBeforeData(q float64, n, cover int, cap capture.Model) CPBeforeData {
+	return CPBeforeData{
+		BMMM: 1 / (1 - math.Pow(q, float64(n))),
+		LAMM: 1 / (1 - math.Pow(q, float64(cover))),
+		BMW:  1 / (1 - q),
+		BSMA: 1 / bsmaCTSSuccess(q, n, cap),
+	}
+}
+
+// bsmaCTSSuccess returns the probability that the BSMA sender decodes at
+// least one CTS after a group RTS: Σ_{k=1..n} C(n,k)(1-q)^k q^{n-k} C_k,
+// where C_k is the probability of capturing one of k simultaneous CTS
+// frames (C_1 = 1).
+func bsmaCTSSuccess(q float64, n int, cap capture.Model) float64 {
+	if cap == nil {
+		cap = capture.ZorziRao{}
+	}
+	total := 0.0
+	for k := 1; k <= n; k++ {
+		total += binomial(n, k) * math.Pow(1-q, float64(k)) *
+			math.Pow(q, float64(n-k)) * cap.Probability(k)
+	}
+	return total
+}
+
+// binomial returns C(n, k) as a float64.
+func binomial(n, k int) float64 {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	out := 1.0
+	for i := 0; i < k; i++ {
+		out = out * float64(n-i) / float64(i+1)
+	}
+	return out
+}
+
+// ExpectedRounds computes fₙ: the expected number of batch rounds (each
+// costing one contention phase) for BMMM/LAMM to serve n receivers when
+// every receiver independently receives-and-acknowledges with probability
+// p per round (§6):
+//
+//	fₙ·(1-(1-p)ⁿ) = 1 + Σ_{j=1}^{n-1} C(n,j) p^{n-j} (1-p)^j · f_j
+//
+// where j is the number of receivers still unserved after a round. The
+// paper's examples: f₁ = 1/p, f₂ = (3-2p)/(p(2-p)).
+func ExpectedRounds(n int, p float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	if p >= 1 {
+		return 1
+	}
+	f := make([]float64, n+1)
+	for m := 1; m <= n; m++ {
+		sum := 1.0
+		for j := 1; j < m; j++ {
+			sum += binomial(m, j) * math.Pow(p, float64(m-j)) *
+				math.Pow(1-p, float64(j)) * f[j]
+		}
+		f[m] = sum / (1 - math.Pow(1-p, float64(m)))
+	}
+	return f[n]
+}
+
+// BMWExpectedRounds returns BMW's expected number of contention phases
+// for n receivers: each receiver needs its own round, and a round
+// succeeds with probability p — n·(1/p) in expectation (the paper's "at
+// least n contention phases").
+func BMWExpectedRounds(n int, p float64) float64 {
+	if p <= 0 {
+		return math.Inf(1)
+	}
+	return float64(n) / p
+}
+
+// SimulateRounds estimates fₙ by Monte-Carlo: repeated rounds in which
+// each remaining receiver is served with probability p, until none
+// remain. It exists to validate ExpectedRounds and for the Figure 5
+// cross-check.
+func SimulateRounds(n int, p float64, trials int, rng *rand.Rand) float64 {
+	if n <= 0 {
+		return 0
+	}
+	total := 0
+	for t := 0; t < trials; t++ {
+		remaining := n
+		for remaining > 0 {
+			total++
+			served := 0
+			for i := 0; i < remaining; i++ {
+				if rng.Float64() < p {
+					served++
+				}
+			}
+			remaining -= served
+		}
+	}
+	return float64(total) / float64(trials)
+}
+
+// Table1Row is one line of the paper's Table 1.
+type Table1Row struct {
+	Q     float64
+	N     int
+	Cover int
+	CPBeforeData
+}
+
+// Table1 reproduces the two parameter sets of the paper's Table 1
+// (q = 0.05; n = 5, |S'| = 4 and n = 10, |S'| = 6) with the Zorzi–Rao
+// capture model.
+func Table1() []Table1Row {
+	cases := []struct {
+		q     float64
+		n, sp int
+	}{
+		{0.05, 5, 4},
+		{0.05, 10, 6},
+	}
+	rows := make([]Table1Row, 0, len(cases))
+	for _, c := range cases {
+		rows = append(rows, Table1Row{
+			Q: c.q, N: c.n, Cover: c.sp,
+			CPBeforeData: ExpectedCPBeforeData(c.q, c.n, c.sp, capture.ZorziRao{}),
+		})
+	}
+	return rows
+}
+
+// Figure5Series returns the (n, fₙ) series of Figure 5 for BMMM/LAMM and
+// the BMW line, at the paper's p = 0.9, for n = 1..maxN.
+type Figure5Point struct {
+	N         int
+	BMMM, BMW float64
+}
+
+// Figure5 computes the Figure 5 data points.
+func Figure5(maxN int, p float64) []Figure5Point {
+	out := make([]Figure5Point, 0, maxN)
+	for n := 1; n <= maxN; n++ {
+		out = append(out, Figure5Point{
+			N:    n,
+			BMMM: ExpectedRounds(n, p),
+			BMW:  BMWExpectedRounds(n, p),
+		})
+	}
+	return out
+}
+
+// String renders a Table1Row like the paper's table line.
+func (r Table1Row) String() string {
+	return fmt.Sprintf("q=%.2f, n=%d, |S'|=%d | BMMM %.2f | LAMM %.2f | BMW %.2f | BSMA %.2f",
+		r.Q, r.N, r.Cover, r.BMMM, r.LAMM, r.BMW, r.BSMA)
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"relmac/internal/capture"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestBinomial(t *testing.T) {
+	cases := []struct {
+		n, k int
+		want float64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 5, 1}, {5, 1, 5}, {5, 2, 10},
+		{10, 3, 120}, {10, 7, 120}, {5, 6, 0}, {5, -1, 0},
+	}
+	for _, c := range cases {
+		if got := binomial(c.n, c.k); !almost(got, c.want, 1e-9) {
+			t.Errorf("C(%d,%d) = %v, want %v", c.n, c.k, got, c.want)
+		}
+	}
+}
+
+func TestExpectedRoundsClosedForms(t *testing.T) {
+	// f1 = 1/p.
+	for _, p := range []float64{0.3, 0.5, 0.9} {
+		if got := ExpectedRounds(1, p); !almost(got, 1/p, 1e-12) {
+			t.Errorf("f1(%v) = %v, want %v", p, got, 1/p)
+		}
+	}
+	// f2 = (3-2p)/(p(2-p)) — the paper's §6 example.
+	for _, p := range []float64{0.3, 0.5, 0.9} {
+		want := (3 - 2*p) / (p * (2 - p))
+		if got := ExpectedRounds(2, p); !almost(got, want, 1e-12) {
+			t.Errorf("f2(%v) = %v, want %v", p, got, want)
+		}
+	}
+}
+
+func TestExpectedRoundsEdgeCases(t *testing.T) {
+	if ExpectedRounds(0, 0.5) != 0 {
+		t.Error("f0 must be 0")
+	}
+	if !math.IsInf(ExpectedRounds(3, 0), 1) {
+		t.Error("p=0 never finishes")
+	}
+	if ExpectedRounds(7, 1) != 1 {
+		t.Error("p=1 finishes in one round")
+	}
+}
+
+func TestExpectedRoundsMonotoneInN(t *testing.T) {
+	prev := 0.0
+	for n := 1; n <= 30; n++ {
+		f := ExpectedRounds(n, 0.9)
+		if f <= prev {
+			t.Fatalf("f_n must grow with n: f_%d=%v ≤ f_%d=%v", n, f, n-1, prev)
+		}
+		prev = f
+	}
+}
+
+// The paper's headline claim for Figure 5: fₙ grows far slower than
+// linearly — in particular much slower than BMW's n rounds.
+func TestExpectedRoundsSublinear(t *testing.T) {
+	p := 0.9
+	f20 := ExpectedRounds(20, p)
+	if f20 >= BMWExpectedRounds(20, p) {
+		t.Errorf("f20=%v must undercut BMW's %v", f20, BMWExpectedRounds(20, p))
+	}
+	if f20 >= 5 {
+		t.Errorf("f20=%v implausibly high for p=0.9", f20)
+	}
+	// Doubling n from 10 to 20 must far less than double f.
+	f10 := ExpectedRounds(10, p)
+	if f20 > 1.5*f10 {
+		t.Errorf("growth too fast: f10=%v f20=%v", f10, f20)
+	}
+}
+
+// The recurrence must agree with direct Monte-Carlo simulation of the
+// batch process (the validation the paper does against Figure 9(a)).
+func TestExpectedRoundsMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 2, 5, 10} {
+		for _, p := range []float64{0.5, 0.9} {
+			exact := ExpectedRounds(n, p)
+			mc := SimulateRounds(n, p, 200000, rng)
+			if math.Abs(exact-mc)/exact > 0.02 {
+				t.Errorf("n=%d p=%v: recurrence %v vs MC %v", n, p, exact, mc)
+			}
+		}
+	}
+}
+
+func TestSimulateRoundsDegenerate(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if SimulateRounds(0, 0.5, 10, rng) != 0 {
+		t.Error("no receivers, no rounds")
+	}
+}
+
+func TestBSMACTSSuccessBounds(t *testing.T) {
+	// Success probability is a probability and decreases as collisions
+	// get harder to capture (larger n at fixed q, small q).
+	prev := 1.0
+	for _, n := range []int{1, 2, 5, 10, 20} {
+		p := bsmaCTSSuccess(0.05, n, capture.ZorziRao{})
+		if p <= 0 || p > 1 {
+			t.Fatalf("n=%d: p=%v out of range", n, p)
+		}
+		if n > 1 && p > prev {
+			t.Errorf("n=%d: success should not improve with more colliders (%v > %v)", n, p, prev)
+		}
+		prev = p
+	}
+	// n=1: no collision possible; success = 1-q.
+	if got := bsmaCTSSuccess(0.05, 1, capture.ZorziRao{}); !almost(got, 0.95, 1e-12) {
+		t.Errorf("n=1 success = %v, want 0.95", got)
+	}
+}
+
+// Table 1 reproduction: the BMMM/LAMM/BMW columns are exact; the BSMA
+// column depends on the fitted capture curve and must land near the
+// paper's 3.27 and 4.08.
+func TestTable1MatchesPaper(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	r1, r2 := rows[0], rows[1]
+	// Paper row 1: 1.00, 1.00, 1.05, 3.27.
+	if !almost(r1.BMMM, 1.00, 0.005) || !almost(r1.LAMM, 1.00, 0.005) {
+		t.Errorf("row1 BMMM/LAMM = %v/%v, want 1.00", r1.BMMM, r1.LAMM)
+	}
+	if !almost(r1.BMW, 1.0526, 0.001) {
+		t.Errorf("row1 BMW = %v, want 1.05", r1.BMW)
+	}
+	if r1.BSMA < 2.8 || r1.BSMA > 3.8 {
+		t.Errorf("row1 BSMA = %v, want ≈3.27", r1.BSMA)
+	}
+	// Paper row 2: 1.00, 1.00, 1.05, 4.08.
+	if !almost(r2.BMMM, 1.00, 0.005) || !almost(r2.LAMM, 1.00, 0.005) {
+		t.Errorf("row2 BMMM/LAMM = %v/%v", r2.BMMM, r2.LAMM)
+	}
+	if r2.BSMA < 3.4 || r2.BSMA > 4.8 {
+		t.Errorf("row2 BSMA = %v, want ≈4.08", r2.BSMA)
+	}
+	// Ordering: BSMA ≫ BMW > BMMM = LAMM-ish.
+	if !(r1.BSMA > r1.BMW && r1.BMW > r1.BMMM) {
+		t.Error("row1 ordering violated")
+	}
+}
+
+func TestExpectedCPBeforeDataNilCapture(t *testing.T) {
+	// nil capture model defaults to Zorzi-Rao.
+	a := ExpectedCPBeforeData(0.05, 5, 4, nil)
+	b := ExpectedCPBeforeData(0.05, 5, 4, capture.ZorziRao{})
+	if a != b {
+		t.Error("nil capture must default to Zorzi-Rao")
+	}
+}
+
+func TestFigure5Series(t *testing.T) {
+	pts := Figure5(25, 0.9)
+	if len(pts) != 25 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, pt := range pts {
+		if pt.N != i+1 {
+			t.Fatalf("point %d has N=%d", i, pt.N)
+		}
+		if pt.BMW < pt.BMMM {
+			t.Errorf("n=%d: BMW (%v) must dominate BMMM (%v)", pt.N, pt.BMW, pt.BMMM)
+		}
+	}
+	// BMW is exactly linear; BMMM grows like the expected maximum of n
+	// geometric variables — ≈ 1 + log₁₀ n for p = 0.9 — and must stay
+	// tiny compared with BMW's 25/0.9 ≈ 27.8 rounds at n = 25.
+	if pts[24].BMMM > 2.5 {
+		t.Errorf("f25 = %v, expected ≈2.2 at p=0.9", pts[24].BMMM)
+	}
+}
+
+func TestTable1RowString(t *testing.T) {
+	row := Table1()[0]
+	s := row.String()
+	if len(s) == 0 || s[0] != 'q' {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,37 @@
+package analysis_test
+
+import (
+	"fmt"
+
+	"relmac/internal/analysis"
+	"relmac/internal/capture"
+	"relmac/internal/frames"
+)
+
+// Table 1, first parameter set: BMMM/LAMM need essentially one
+// contention phase before the data frame goes out; BSMA needs several
+// because its colliding CTS replies must be captured.
+func ExampleExpectedCPBeforeData() {
+	r := analysis.ExpectedCPBeforeData(0.05, 5, 4, capture.ZorziRao{})
+	fmt.Printf("BMMM %.2f  LAMM %.2f  BMW %.2f  BSMA %.2f\n",
+		r.BMMM, r.LAMM, r.BMW, r.BSMA)
+	// Output:
+	// BMMM 1.00  LAMM 1.00  BMW 1.05  BSMA 3.17
+}
+
+// The paper's §6 closed form for two receivers: f₂ = (3-2p)/(p(2-p)).
+func ExampleExpectedRounds() {
+	p := 0.9
+	fmt.Printf("f2 = %.4f (closed form %.4f)\n",
+		analysis.ExpectedRounds(2, p), (3-2*p)/(p*(2-p)))
+	// Output:
+	// f2 = 1.2121 (closed form 1.2121)
+}
+
+// One clean BMMM batch over 3 receivers: 3 RTS/CTS pairs, 5 slots of
+// data, 3 RAK/ACK pairs.
+func ExampleBMMMBatchSlots() {
+	fmt.Println(analysis.BMMMBatchSlots(frames.DefaultTiming(), 3), "slots")
+	// Output:
+	// 17 slots
+}

@@ -1,0 +1,104 @@
+package analysis
+
+import "relmac/internal/frames"
+
+// This file derives the clean-channel service time of each protocol —
+// the slot count from the first frame of a message to sender completion
+// when nothing collides. These closed forms explain the low-load end of
+// Figure 10 and are validated against the simulator by the test suite
+// (the protocol state machines must hit these numbers exactly).
+//
+// Conventions follow the slotted model: responses turn around in the
+// next slot and sender completion fires in the slot after the last frame
+// (or wait window) of the exchange, so the service time equals the summed
+// airtime of the exchange's frames plus any trailing wait windows. A
+// contention phase on an idle medium is free for a message's first
+// attempt (CSMA/CA step 2); every later phase draws a backoff with mean
+// (CW-1)/2 — see DESIGN.md on the post-backoff rule.
+
+// PlainServiceSlots is the sender-side service time of the stock 802.11
+// multicast: just the data frame.
+func PlainServiceSlots(tm frames.Timing) int {
+	return tm.Data
+}
+
+// UnicastServiceSlots is the DCF unicast exchange:
+// RTS + CTS + DATA + ACK.
+func UnicastServiceSlots(tm frames.Timing) int {
+	return 3*tm.Control + tm.Data
+}
+
+// TGServiceSlots is the Tang–Gerla broadcast [19]: RTS + CTS + DATA.
+func TGServiceSlots(tm frames.Timing) int {
+	return 2*tm.Control + tm.Data
+}
+
+// BSMAServiceSlots adds BSMA's WAIT_FOR_NAK window (one NAK airtime)
+// after the data frame.
+func BSMAServiceSlots(tm frames.Timing) int {
+	return 2*tm.Control + tm.Data + tm.Control
+}
+
+// KuriServiceSlots is the leader-based exchange [13]:
+// RTS + CTS + DATA + ACK — group-size independent.
+func KuriServiceSlots(tm frames.Timing) int {
+	return UnicastServiceSlots(tm)
+}
+
+// BMMMBatchSlots is one clean BMMM batch round over n receivers
+// (Figure 2 right): n RTS/CTS pairs, the data frame, n RAK/ACK pairs.
+func BMMMBatchSlots(tm frames.Timing, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return 2*n*tm.Control + tm.Data + 2*n*tm.Control
+}
+
+// LAMMBatchSlots is one clean LAMM batch round: a BMMM batch over the
+// cover set (size cover) — the data frame still serves everyone.
+func LAMMBatchSlots(tm frames.Timing, cover int) int {
+	return BMMMBatchSlots(tm, cover)
+}
+
+// BMWServiceSlots is BMW's clean-channel service time for n receivers
+// with mean post-backoff meanBackoff slots between rounds (the first
+// round rides the free initial contention): the first round carries the
+// data (RTS+CTS+DATA+ACK+decision), every later round is suppressed by
+// the receive buffer (RTS+CTS+decision) and pays DIFS re-sensing (the
+// idle gap before the next transmission, 1 extra slot) plus the backoff.
+func BMWServiceSlots(tm frames.Timing, n int, meanBackoff float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	first := float64(UnicastServiceSlots(tm))
+	if n == 1 {
+		return first
+	}
+	// Suppressed round: decision slot + DIFS re-sense + backoff, then
+	// RTS + CTS.
+	perRound := 2.0 + meanBackoff + float64(2*tm.Control)
+	return first + float64(n-1)*perRound
+}
+
+// MeanBackoffSlots is the expected draw of a fresh post-backoff with the
+// given contention window.
+func MeanBackoffSlots(cw int) float64 {
+	if cw < 1 {
+		cw = 1
+	}
+	return float64(cw-1) / 2
+}
+
+// ServiceCrossover returns the smallest n at which BMMM's one-batch
+// service time beats BMW's n-round service time on a clean channel — the
+// regime where batching pays even without contention (with contention it
+// pays everywhere, which is the paper's point).
+func ServiceCrossover(tm frames.Timing, cw int) int {
+	mb := MeanBackoffSlots(cw)
+	for n := 1; n <= 1024; n++ {
+		if float64(BMMMBatchSlots(tm, n)) < BMWServiceSlots(tm, n, mb) {
+			return n
+		}
+	}
+	return -1
+}

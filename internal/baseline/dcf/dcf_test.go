@@ -1,0 +1,377 @@
+package dcf_test
+
+import (
+	"strings"
+	"testing"
+
+	"relmac/internal/baseline/dcf"
+	"relmac/internal/frames"
+	"relmac/internal/geom"
+	"relmac/internal/mac"
+	"relmac/internal/prototest"
+	"relmac/internal/sim"
+)
+
+const r = 0.2
+
+func plainFactory() prototest.Factory {
+	f := dcf.NewPlain(mac.DefaultConfig())
+	return func(node int, env *sim.Env) sim.MAC { return f(node, env) }
+}
+
+func TestUnicastCleanExchange(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.6, 0.5)}
+	run := prototest.New(pts, r, plainFactory())
+	run.Unicast(5, 1, 0, 1, 100)
+	run.Steps(40)
+
+	if got := run.Trace.TxSeq(); got != "RTS CTS DATA ACK" {
+		t.Fatalf("frame sequence = %q, want RTS CTS DATA ACK", got)
+	}
+	rec := run.Record(1)
+	if rec == nil || !rec.Completed {
+		t.Fatal("unicast not completed")
+	}
+	if rec.Delivered != 1 {
+		t.Errorf("delivered = %d", rec.Delivered)
+	}
+	if rec.Contentions != 1 {
+		t.Errorf("contentions = %d, want 1 on a clean channel", rec.Contentions)
+	}
+	if !rec.Successful(1.0) {
+		t.Error("clean unicast must be successful")
+	}
+}
+
+func TestUnicastExchangeTiming(t *testing.T) {
+	// Message arrives at slot 5 on an idle medium: RTS at 5, CTS at 6,
+	// DATA 7..11, ACK at 12.
+	pts := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.6, 0.5)}
+	run := prototest.New(pts, r, plainFactory())
+	run.Unicast(5, 1, 0, 1, 100)
+	run.Steps(20)
+	want := []string{"5 TX RTS 0→1", "6 TX CTS 1→0", "7 TX DATA 0→1", "12 TX ACK 1→0"}
+	var got []string
+	for _, e := range run.Trace.Events {
+		if strings.Contains(e, "TX") {
+			got = append(got, e)
+		}
+	}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("timeline = %v, want %v", got, want)
+	}
+}
+
+func TestUnicastRetriesOnCollision(t *testing.T) {
+	// Hidden-terminal line: senders 0 and 2 both target 1 and collide.
+	// With retries both messages should eventually complete.
+	pts := []geom.Point{geom.Pt(0.3, 0.5), geom.Pt(0.44, 0.5), geom.Pt(0.58, 0.5)}
+	run := prototest.New(pts, r-0.05, plainFactory(), prototest.WithSeed(3))
+	run.Unicast(5, 1, 0, 1, 2000)
+	run.Unicast(5, 2, 2, 1, 2000)
+	run.Steps(2200)
+	a, b := run.Record(1), run.Record(2)
+	if a == nil || b == nil {
+		t.Fatal("missing records")
+	}
+	if !a.Completed || !b.Completed {
+		t.Fatalf("both hidden-terminal unicasts should complete eventually: %+v %+v", a, b)
+	}
+	if a.Contentions+b.Contentions < 3 {
+		t.Errorf("expected retries; contentions = %d + %d", a.Contentions, b.Contentions)
+	}
+}
+
+func TestUnicastAbortsAtRetryLimit(t *testing.T) {
+	// Receiver absent (out of range): sender must give up at the retry
+	// limit and report abort.
+	cfg := mac.DefaultConfig()
+	cfg.RetryLimit = 3
+	f := dcf.NewPlain(cfg)
+	pts := []geom.Point{geom.Pt(0.1, 0.1), geom.Pt(0.9, 0.9), geom.Pt(0.2, 0.1)}
+	run := prototest.New(pts, r, func(n int, e *sim.Env) sim.MAC { return f(n, e) })
+	// Target node 1 is unreachable, but it IS a valid station; we fake a
+	// request claiming it is a neighbor.
+	run.Unicast(0, 1, 0, 1, 100000)
+	run.Steps(5000)
+	rec := run.Record(1)
+	if rec.Completed {
+		t.Fatal("unreachable unicast cannot complete")
+	}
+	if !rec.Aborted {
+		t.Fatal("sender must abort at the retry limit")
+	}
+	if rec.Contentions != 3 {
+		t.Errorf("contentions = %d, want exactly RetryLimit", rec.Contentions)
+	}
+}
+
+func TestPlainMulticastFireAndForget(t *testing.T) {
+	pts := prototest.Star(3, r, 0.8)
+	run := prototest.New(pts, r, plainFactory())
+	run.Multicast(5, 1, 0, []int{1, 2, 3}, 100)
+	run.Steps(30)
+	if got := run.Trace.TxSeq(); got != "DATA" {
+		t.Fatalf("plain multicast sequence = %q, want a single DATA", got)
+	}
+	rec := run.Record(1)
+	if !rec.Completed || rec.Delivered != 3 || rec.Contentions != 1 {
+		t.Errorf("record = %+v", rec)
+	}
+	if !rec.Successful(0.9) {
+		t.Error("clean plain multicast should succeed")
+	}
+}
+
+func TestPlainMulticastNoRecovery(t *testing.T) {
+	// A jammer hidden from the sender corrupts the data frame at one
+	// receiver; plain 802.11 never notices and never retransmits.
+	pts := append(prototest.Star(2, r, 0.8), geom.Pt(0.5+1.5*r, 0.5+0.8*r))
+	// Node 3 (jammer) is in range of receiver 1? Build: receiver at
+	// 0.5+0.16,0.5 (index 1), jammer at 0.8,0.5: distance 0.14 < r. The
+	// sender at 0.5 is 0.3 away from the jammer: hidden.
+	pts = []geom.Point{
+		geom.Pt(0.5, 0.5),  // sender
+		geom.Pt(0.66, 0.5), // receiver 1
+		geom.Pt(0.5, 0.66), // receiver 2
+		geom.Pt(0.8, 0.5),  // jammer, in range of receiver 1 only
+	}
+	run := prototest.New(pts, r, plainFactory())
+	jam := prototest.NewJammer().JamAt(7) // during DATA (slots 5..9)
+	run.Engine.SetMAC(3, jam)
+	run.Multicast(5, 1, 0, []int{1, 2}, 100)
+	run.Steps(40)
+	rec := run.Record(1)
+	if !rec.Completed {
+		t.Fatal("sender must complete regardless")
+	}
+	if rec.Delivered != 1 {
+		t.Fatalf("delivered = %d, want only the unjammed receiver", rec.Delivered)
+	}
+	if rec.Successful(0.9) {
+		t.Error("50%% delivery must fail a 90%% threshold")
+	}
+	if got := run.Trace.TxTypes(); len(got) != 2 { // DATA + jam
+		t.Errorf("plain multicast must not retransmit: %v", got)
+	}
+}
+
+func TestNAVThirdPartyYields(t *testing.T) {
+	// Three mutually-in-range stations: 0 sends unicast to 1; station 2
+	// has its own unicast to 1 arriving mid-exchange. It must defer until
+	// the exchange ends (NAV from the overheard RTS), then deliver.
+	pts := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.6, 0.5), geom.Pt(0.55, 0.58)}
+	run := prototest.New(pts, r, plainFactory(), prototest.WithSeed(9))
+	run.Unicast(5, 1, 0, 1, 1000)
+	run.Unicast(7, 2, 2, 1, 1000)
+	run.Steps(100)
+	recA, recB := run.Record(1), run.Record(2)
+	if !recA.Completed || !recB.Completed {
+		t.Fatalf("both unicasts should complete: %+v %+v", recA, recB)
+	}
+	// The first exchange runs slots 5..12. Station 2 must not transmit
+	// anything before slot 13.
+	for _, e := range run.Trace.Events {
+		if strings.Contains(e, "TX RTS 2→1") {
+			var slot int
+			if _, err := fmtSscan(e, &slot); err != nil {
+				t.Fatalf("bad event %q", e)
+			}
+			if slot <= 12 {
+				t.Errorf("station 2 transmitted at slot %d inside the reserved window", slot)
+			}
+		}
+	}
+}
+
+// fmtSscan parses the leading slot number of a trace event.
+func fmtSscan(e string, slot *int) (int, error) {
+	return sscan(strings.Fields(e)[0], slot)
+}
+
+func sscan(s string, slot *int) (int, error) {
+	n := 0
+	v := 0
+	for _, c := range s {
+		if c < '0' || c > '9' {
+			break
+		}
+		v = v*10 + int(c-'0')
+		n++
+	}
+	*slot = v
+	return n, nil
+}
+
+func TestQueueServesInOrder(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.6, 0.5)}
+	run := prototest.New(pts, r, plainFactory())
+	run.Unicast(5, 1, 0, 1, 1000)
+	run.Unicast(5, 2, 0, 1, 1000)
+	run.Steps(100)
+	a, b := run.Record(1), run.Record(2)
+	if !a.Completed || !b.Completed {
+		t.Fatal("both queued messages should complete")
+	}
+	if b.CompletedAt <= a.CompletedAt {
+		t.Error("FIFO violated")
+	}
+}
+
+func TestTimeoutAbortsQueuedMessage(t *testing.T) {
+	// Deadline 3 slots: the exchange needs ≥8, so the request expires
+	// mid-service and is aborted.
+	pts := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.6, 0.5)}
+	run := prototest.New(pts, r, plainFactory())
+	req := run.Unicast(5, 1, 0, 1, 100)
+	req.Deadline = 8
+	run.Steps(60)
+	rec := run.Record(1)
+	if rec.Completed {
+		t.Fatal("message with a 3-slot deadline cannot complete")
+	}
+	if !rec.Aborted {
+		t.Fatal("expired message must be aborted")
+	}
+}
+
+func TestEmptyDestsCompletesImmediately(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.6, 0.5)}
+	run := prototest.New(pts, r, plainFactory())
+	run.Script.At(5, &sim.Request{ID: 1, Kind: sim.Unicast, Src: 0, Dests: nil, Deadline: 100})
+	run.Script.At(5, &sim.Request{ID: 2, Kind: sim.Multicast, Src: 1, Dests: nil, Deadline: 100})
+	run.Steps(20)
+	if !run.Record(1).Completed || !run.Record(2).Completed {
+		t.Error("empty destination sets complete trivially")
+	}
+	if got := run.Trace.TxSeq(); got != "" {
+		t.Errorf("nothing should be transmitted: %q", got)
+	}
+}
+
+func TestDIFSPreventsPreemptionDuringExchange(t *testing.T) {
+	// Station 2's backoff would expire during the CTS turnaround slot of
+	// an ongoing exchange; the 2-slot DIFS requirement must hold it back.
+	// We arrange station 2 to have a message ready exactly when 0→1's RTS
+	// ends.
+	pts := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.6, 0.5), geom.Pt(0.55, 0.58)}
+	run := prototest.New(pts, r, plainFactory())
+	run.Unicast(5, 1, 0, 1, 1000)
+	run.Unicast(6, 2, 2, 1, 1000) // arrives as the RTS is in the air
+	run.Steps(100)
+	// Station 2 senses slot 5 busy (RTS started at 5? started AT 5 is not
+	// sensed at 5, but at 6 it is history). At slot 6 the CTS is starting
+	// (unsensed); the previous slot was busy → idleRun < DIFS → no send.
+	for _, e := range run.Trace.Events {
+		if strings.Contains(e, "TX") && strings.Contains(e, "2→1") {
+			var slot int
+			fmtSscan(e, &slot)
+			if slot < 13 {
+				t.Fatalf("station 2 pre-empted the exchange at slot %d: %v", slot, run.Trace.Events)
+			}
+		}
+	}
+	if !run.Record(2).Completed {
+		t.Error("deferred message should still complete")
+	}
+}
+
+func TestCTSRefusedWhileYielding(t *testing.T) {
+	// Station 1 yields to an exchange between 2 and 3 (all in range).
+	// A hidden sender 0 polls 1 mid-yield: 1 must not CTS.
+	pts := []geom.Point{
+		geom.Pt(0.2, 0.5),  // 0: sender, hears only 1
+		geom.Pt(0.38, 0.5), // 1: target, hears everyone
+		geom.Pt(0.5, 0.55), // 2
+		geom.Pt(0.5, 0.45), // 3
+	}
+	run := prototest.New(pts, r, plainFactory(), prototest.WithSeed(5))
+	run.Unicast(5, 1, 2, 3, 1000) // exchange 2→3 reserves the medium near 1
+	run.Unicast(6, 2, 0, 1, 1000) // hidden sender polls 1 during that
+	run.Steps(200)
+	// Count CTS 1→0 transmissions during the 2→3 exchange (slots 5..12).
+	for _, e := range run.Trace.Events {
+		if strings.Contains(e, "TX CTS 1→0") {
+			var slot int
+			fmtSscan(e, &slot)
+			if slot <= 12 {
+				t.Fatalf("station 1 answered an RTS while yielding (slot %d)", slot)
+			}
+		}
+	}
+	if !run.Record(2).Completed {
+		t.Error("the polled message should complete after the yield ends")
+	}
+}
+
+func TestFrameCountsObserved(t *testing.T) {
+	pts := []geom.Point{geom.Pt(0.5, 0.5), geom.Pt(0.6, 0.5)}
+	run := prototest.New(pts, r, plainFactory())
+	run.Unicast(5, 1, 0, 1, 100)
+	run.Steps(30)
+	c := run.Collector
+	if c.FrameCount(frames.RTS) != 1 || c.FrameCount(frames.CTS) != 1 ||
+		c.FrameCount(frames.Data) != 1 || c.FrameCount(frames.ACK) != 1 {
+		t.Error("frame counters wrong")
+	}
+}
+
+func TestExposedTerminalOptReusesBrokenReservation(t *testing.T) {
+	// Station 2 overhears station 0's RTS to an unreachable receiver 1
+	// (no CTS will ever come back, so the reservation is dead air).
+	// Receiver 1 is also out of station 2's range, so with the
+	// exposed-terminal optimisation station 2 only honours the CTS
+	// turnaround and can serve its own message to 3 much earlier.
+	pts := []geom.Point{
+		geom.Pt(0.30, 0.50), // 0: sender of the broken exchange
+		geom.Pt(0.90, 0.90), // 1: unreachable "receiver"
+		geom.Pt(0.44, 0.50), // 2: exposed station (hears 0, not 1)
+		geom.Pt(0.58, 0.50), // 3: station 2's own receiver
+	}
+	completionAt := func(opt bool) sim.Slot {
+		cfg := mac.DefaultConfig()
+		cfg.ExposedTerminalOpt = opt
+		cfg.RetryLimit = 1 // the broken exchange gives up after one try
+		f := dcf.NewPlain(cfg)
+		run := prototest.New(pts, r, func(n int, e *sim.Env) sim.MAC { return f(n, e) })
+		run.Unicast(5, 1, 0, 1, 100000) // dead reservation (RTS at slot 5)
+		run.Unicast(6, 2, 2, 3, 100000) // arrives after the RTS was heard
+		run.Steps(300)
+		rec := run.Record(2)
+		if !rec.Completed {
+			t.Fatalf("opt=%v: exposed station's message should complete", opt)
+		}
+		return rec.CompletedAt
+	}
+	with := completionAt(true)
+	without := completionAt(false)
+	if with >= without {
+		t.Errorf("exposed-terminal opt should speed up reuse of a broken "+
+			"reservation: with=%d without=%d", with, without)
+	}
+}
+
+func TestExposedTerminalOptStaysConservativeNearReceiver(t *testing.T) {
+	// When the overheard RTS targets a receiver WITHIN the station's
+	// range, the optimisation must not shorten the yield: behaviour is
+	// identical with and without the flag.
+	pts := []geom.Point{
+		geom.Pt(0.40, 0.50), // 0: sender
+		geom.Pt(0.55, 0.50), // 1: receiver, in range of station 2
+		geom.Pt(0.50, 0.60), // 2: overhearing station
+		geom.Pt(0.60, 0.66), // 3: station 2's receiver
+	}
+	run := func(opt bool) string {
+		cfg := mac.DefaultConfig()
+		cfg.ExposedTerminalOpt = opt
+		f := dcf.NewPlain(cfg)
+		rn := prototest.New(pts, r, func(n int, e *sim.Env) sim.MAC { return f(n, e) })
+		rn.Unicast(5, 1, 0, 1, 100000)
+		rn.Unicast(6, 2, 2, 3, 100000)
+		rn.Steps(200)
+		return rn.Trace.TxSeq()
+	}
+	if run(true) != run(false) {
+		t.Error("optimisation must be a no-op when the receiver is in range")
+	}
+}

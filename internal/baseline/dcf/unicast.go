@@ -1,0 +1,124 @@
+package dcf
+
+import (
+	"relmac/internal/frames"
+	"relmac/internal/sim"
+)
+
+// uniState enumerates the DCF unicast sender states.
+type uniState uint8
+
+const (
+	uniIdle uniState = iota
+	uniContend
+	uniWaitCTS
+	uniWaitACK
+)
+
+// uniFSM is the sender side of the standard 802.11 DCF unicast exchange
+// (CSMA/CA + RTS/CTS/DATA/ACK with binary exponential backoff retries).
+// Every protocol in the comparison serves its unicast traffic through
+// this machine, so the unicast background load is identical across
+// protocols.
+type uniFSM struct {
+	state    uniState
+	req      *sim.Request
+	target   frames.Addr
+	checkAt  sim.Slot
+	gotCTS   bool
+	gotACK   bool
+	attempts int
+}
+
+func (u *uniFSM) begin(st *Station, env *sim.Env, req *sim.Request) {
+	if len(req.Dests) == 0 {
+		st.FinishRequest(env, true)
+		u.state = uniIdle
+		return
+	}
+	u.req = req
+	u.target = frames.Addr(req.Dests[0])
+	u.attempts = 0
+	u.state = uniContend
+	st.StartContention(env)
+}
+
+func (u *uniFSM) tick(st *Station, env *sim.Env) *frames.Frame {
+	now := env.Now()
+	tm := st.cfg.Timing
+	switch u.state {
+	case uniContend:
+		if !st.ContentionTick(env) {
+			return nil
+		}
+		u.attempts++
+		u.gotCTS = false
+		u.state = uniWaitCTS
+		u.checkAt = now + 2 // RTS occupies this slot; CTS the next
+		return &frames.Frame{
+			Type: frames.RTS, Dst: u.target, MsgID: u.req.ID,
+			Duration: tm.Control + tm.Data + tm.Control, // CTS + DATA + ACK
+		}
+	case uniWaitCTS:
+		if now < u.checkAt {
+			return nil
+		}
+		if u.gotCTS {
+			u.gotACK = false
+			u.state = uniWaitACK
+			u.checkAt = now + sim.Slot(tm.Data) + 1
+			return &frames.Frame{
+				Type: frames.Data, Dst: u.target, MsgID: u.req.ID,
+				Duration: tm.Control, // the pending ACK
+			}
+		}
+		return u.retry(st, env)
+	case uniWaitACK:
+		if now < u.checkAt {
+			return nil
+		}
+		if u.gotACK {
+			u.state = uniIdle
+			st.FinishRequest(env, true)
+			return nil
+		}
+		return u.retry(st, env)
+	}
+	return nil
+}
+
+// retry re-enters contention with a widened window, or gives up when the
+// retry budget is exhausted.
+func (u *uniFSM) retry(st *Station, env *sim.Env) *frames.Frame {
+	if u.attempts >= st.cfg.RetryLimit {
+		u.state = uniIdle
+		st.FinishRequest(env, false)
+		return nil
+	}
+	st.ContentionFail()
+	u.state = uniContend
+	st.StartContention(env)
+	return nil
+}
+
+// onControl feeds a CTS or ACK addressed to this station into the FSM.
+func (u *uniFSM) onControl(f *frames.Frame) {
+	if u.req == nil || f.MsgID != u.req.ID {
+		return
+	}
+	switch {
+	case f.Type == frames.CTS && u.state == uniWaitCTS:
+		u.gotCTS = true
+	case f.Type == frames.ACK && u.state == uniWaitACK:
+		u.gotACK = true
+	}
+}
+
+// GroupAddrs converts intended-receiver station IDs into frame addresses.
+func GroupAddrs(dests []int) []frames.Addr {
+	out := make([]frames.Addr, len(dests))
+	for i, d := range dests {
+		out[i] = frames.Addr(d)
+	}
+	return out
+}

@@ -1,0 +1,182 @@
+package capture
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNoneModel(t *testing.T) {
+	var m None
+	if m.Probability(1) != 1 {
+		t.Error("single signal must always be received")
+	}
+	for k := 2; k < 10; k++ {
+		if m.Probability(k) != 0 {
+			t.Errorf("None.Probability(%d) != 0", k)
+		}
+	}
+	if m.Resolve([]float64{0.1}, 0.5) != 0 {
+		t.Error("lone signal should resolve to index 0")
+	}
+	if m.Resolve([]float64{0.1, 0.2}, 0.0) != -1 {
+		t.Error("None must never capture a collision")
+	}
+	if m.Resolve(nil, 0) != -1 {
+		t.Error("no signals resolves to -1")
+	}
+}
+
+func TestZorziRaoAnchors(t *testing.T) {
+	var m ZorziRao
+	cases := map[int]float64{1: 1, 2: 0.55, 3: 0.44, 4: 0.36, 5: 0.30}
+	for k, want := range cases {
+		if got := m.Probability(k); math.Abs(got-want) > 1e-9 {
+			t.Errorf("C_%d = %v, want %v", k, got, want)
+		}
+	}
+	if m.Probability(0) != 0 || m.Probability(-3) != 0 {
+		t.Error("degenerate k must have probability 0")
+	}
+}
+
+func TestZorziRaoMonotoneDecreasingToAsymptote(t *testing.T) {
+	var m ZorziRao
+	prev := m.Probability(1)
+	for k := 2; k <= 100; k++ {
+		p := m.Probability(k)
+		if p > prev+1e-12 {
+			t.Fatalf("C_k increased at k=%d: %v > %v", k, p, prev)
+		}
+		if p < 0.2-1e-12 {
+			t.Fatalf("C_%d = %v fell below the 0.2 asymptote", k, p)
+		}
+		prev = p
+	}
+	if m.Probability(1000) > 0.21 {
+		t.Error("tail should approach 0.2")
+	}
+}
+
+func TestZorziRaoResolveNearestWins(t *testing.T) {
+	var m ZorziRao
+	dists := []float64{0.3, 0.1, 0.2}
+	if got := m.Resolve(dists, 0.0); got != 1 {
+		t.Errorf("winner = %d, want nearest (1)", got)
+	}
+	if got := m.Resolve(dists, 0.99); got != -1 {
+		t.Errorf("u above C_k must fail capture, got %d", got)
+	}
+}
+
+func TestZorziRaoResolveFrequency(t *testing.T) {
+	var m ZorziRao
+	rng := rand.New(rand.NewSource(9))
+	dists := []float64{0.05, 0.1}
+	captured := 0
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		if m.Resolve(dists, rng.Float64()) >= 0 {
+			captured++
+		}
+	}
+	got := float64(captured) / trials
+	if math.Abs(got-0.55) > 0.01 {
+		t.Errorf("empirical C_2 = %v, want 0.55", got)
+	}
+}
+
+func TestSIRDeterministic(t *testing.T) {
+	m := SIR{Ratio: 1.5}
+	if got := m.Resolve([]float64{1.0, 1.5}, 0.3); got != 0 {
+		t.Errorf("ratio exactly 1.5 should capture, got %d", got)
+	}
+	if got := m.Resolve([]float64{0.1, 0.14}, 0.3); got != -1 {
+		t.Errorf("ratio below 1.5 must not capture, got %d", got)
+	}
+	if got := m.Resolve([]float64{0.2}, 0.3); got != 0 {
+		t.Error("lone signal always captured")
+	}
+	if got := m.Resolve(nil, 0.3); got != -1 {
+		t.Error("no signals resolves to -1")
+	}
+}
+
+func TestSIRThreeWay(t *testing.T) {
+	m := SIR{Ratio: 1.5}
+	// Nearest 0.1; second nearest 0.12 < 0.15 → no capture even though the
+	// third is far away.
+	if got := m.Resolve([]float64{0.5, 0.1, 0.12}, 0); got != -1 {
+		t.Errorf("got %d, want -1", got)
+	}
+	if got := m.Resolve([]float64{0.5, 0.1, 0.9}, 0); got != 1 {
+		t.Errorf("got %d, want 1", got)
+	}
+}
+
+func TestSIRProbabilityClosedForm(t *testing.T) {
+	m := SIR{Ratio: 1.5}
+	want := 1 / (1.5 * 1.5)
+	for k := 2; k < 8; k++ {
+		if got := m.Probability(k); math.Abs(got-want) > 1e-12 {
+			t.Errorf("P(%d) = %v, want %v", k, got, want)
+		}
+	}
+	if m.Probability(1) != 1 {
+		t.Error("P(1) must be 1")
+	}
+	easy := SIR{Ratio: 0.5}
+	if easy.Probability(3) != 1 {
+		t.Error("ratio ≤ 1 should always capture")
+	}
+}
+
+// The SIR closed form P = 1/ratio² should match Monte-Carlo simulation of
+// uniformly distributed interferers.
+func TestSIRProbabilityMatchesGeometry(t *testing.T) {
+	m := SIR{Ratio: 1.5}
+	rng := rand.New(rand.NewSource(31))
+	for _, k := range []int{2, 3, 5} {
+		wins := 0
+		const trials = 60000
+		dists := make([]float64, k)
+		for i := 0; i < trials; i++ {
+			for j := range dists {
+				dists[j] = math.Sqrt(rng.Float64()) // uniform in unit disk
+			}
+			if m.Resolve(dists, 0) >= 0 {
+				wins++
+			}
+		}
+		got := float64(wins) / trials
+		want := m.Probability(k)
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("k=%d: empirical %v vs closed form %v", k, got, want)
+		}
+	}
+}
+
+func TestSIRDefaultRatio(t *testing.T) {
+	var m SIR
+	if m.Name() != "sir(1.50)" {
+		t.Errorf("default SIR name = %q", m.Name())
+	}
+	if math.Abs(m.Probability(2)-1/(1.5*1.5)) > 1e-12 {
+		t.Error("zero Ratio must fall back to the 1.5 default")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"none", "", "zorzi-rao", "zorzi", "sir"} {
+		if _, ok := ByName(name); !ok {
+			t.Errorf("ByName(%q) not found", name)
+		}
+	}
+	if _, ok := ByName("bogus"); ok {
+		t.Error("unknown name must report !ok")
+	}
+	m, _ := ByName("zorzi")
+	if m.Name() != "zorzi-rao" {
+		t.Errorf("alias resolved to %q", m.Name())
+	}
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+
+	"relmac/internal/geom"
+	"relmac/internal/sim"
+)
+
+// bmmmPicker is BMMM's trivial strategy: poll every remaining receiver,
+// retire exactly the ones that ACKed.
+type bmmmPicker struct{}
+
+// Poll implements Picker.
+func (bmmmPicker) Poll(env *sim.Env, S []int) []int { return S }
+
+// Update implements Picker: S \ S_ACK (Figure 3, sender's protocol).
+func (bmmmPicker) Update(env *sim.Env, S []int, acked []int) []int {
+	got := make(map[int]bool, len(acked))
+	for _, id := range acked {
+		got[id] = true
+	}
+	out := make([]int, 0, len(S))
+	for _, id := range S {
+		if !got[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// lammPicker is LAMM's location-aware strategy (§5): poll only the
+// minimum cover set MCS(S), and after the round retire every node whose
+// coverage disk is contained in the union of the ACKing nodes' disks —
+// by Theorem 3 such nodes are guaranteed to have received the data frame
+// without collision even though they never sent an ACK.
+//
+// locs, when non-nil, supplies the sender's *believed* station locations
+// instead of the true ones — the location-error study (the paper assumes
+// GPS accuracy "is accurate enough"; this knob quantifies how much error
+// LAMM tolerates before Theorem 3's guarantee erodes).
+type lammPicker struct {
+	locs *NoisyLocations
+}
+
+// pos returns the believed position of the station with the given ID.
+func (p lammPicker) pos(env *sim.Env, id int) geom.Point {
+	if p.locs != nil {
+		return p.locs.Pos(env, id)
+	}
+	return env.Topo().Pos(id)
+}
+
+// Poll implements Picker using the MCS(S) procedure (Theorem 2). The
+// station knows its neighbors' locations from GPS-bearing beacons; here
+// that knowledge is the topology snapshot (optionally jittered).
+func (p lammPicker) Poll(env *sim.Env, S []int) []int {
+	if len(S) <= 1 {
+		return S
+	}
+	pts := make([]geom.Point, len(S))
+	for k, id := range S {
+		pts[k] = p.pos(env, id)
+	}
+	sel := geom.MinCoverSet(pts, env.Topo().Radius())
+	out := make([]int, len(sel))
+	for k, idx := range sel {
+		out[k] = S[idx]
+	}
+	return out
+}
+
+// Update implements Picker using the angle-based UPDATE(S, S_ACK)
+// procedure (Theorem 4).
+func (p lammPicker) Update(env *sim.Env, S []int, acked []int) []int {
+	if len(acked) == 0 {
+		return S
+	}
+	pts := make([]geom.Point, len(S))
+	for k, id := range S {
+		pts[k] = p.pos(env, id)
+	}
+	ackPts := make([]geom.Point, len(acked))
+	for k, id := range acked {
+		ackPts[k] = p.pos(env, id)
+	}
+	rem := geom.Update(pts, ackPts, env.Topo().Radius())
+	out := make([]int, len(rem))
+	for k, idx := range rem {
+		out[k] = S[idx]
+	}
+	return out
+}
+
+// NoisyLocations supplies per-station believed positions: each station's
+// advertised GPS fix is its true position plus i.i.d. Gaussian error of
+// the given standard deviation. All stations share the same erroneous
+// fix for a given peer (the error originates at that peer's receiver and
+// propagates through its beacons), so the table is computed once per
+// topology.
+type NoisyLocations struct {
+	// Sigma is the location error standard deviation, in the same unit
+	// as the topology coordinates (the unit square). For scale: the
+	// paper's 802.11b range of up to 500 ft maps to radius 0.2, so
+	// Sigma = 0.01 corresponds to GPS error of roughly 25 ft.
+	Sigma float64
+	// Seed makes the error draw reproducible.
+	Seed int64
+
+	pts []geom.Point
+}
+
+// Pos returns the believed position of station id, lazily materialising
+// the jittered table from the environment's topology.
+func (n *NoisyLocations) Pos(env *sim.Env, id int) geom.Point {
+	if n.pts == nil {
+		tp := env.Topo()
+		rng := rand.New(rand.NewSource(n.Seed))
+		n.pts = make([]geom.Point, tp.N())
+		for i := range n.pts {
+			p := tp.Pos(i)
+			n.pts[i] = geom.Pt(p.X+rng.NormFloat64()*n.Sigma, p.Y+rng.NormFloat64()*n.Sigma)
+		}
+	}
+	return n.pts[id]
+}

@@ -1,0 +1,292 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"relmac/internal/analysis"
+	"relmac/internal/frames"
+	"relmac/internal/geom"
+	"relmac/internal/mac"
+	"relmac/internal/metrics"
+	"relmac/internal/report"
+	"relmac/internal/sim"
+	"relmac/internal/topo"
+	"relmac/internal/traffic"
+)
+
+// Options tunes how much work an experiment does. The zero value is
+// replaced by the full-fidelity defaults.
+type Options struct {
+	// Runs is the number of independent simulation runs per plotted
+	// point (the paper uses 100).
+	Runs int
+	// Slots overrides the simulated duration (default 10 000).
+	Slots int
+	// Protocols overrides the protocol set (default PaperProtocols).
+	Protocols []Protocol
+}
+
+func (o Options) normal() Options {
+	if o.Runs <= 0 {
+		o.Runs = 100
+	}
+	if o.Slots <= 0 {
+		o.Slots = 10000
+	}
+	if len(o.Protocols) == 0 {
+		o.Protocols = PaperProtocols
+	}
+	return o
+}
+
+// Quick returns reduced-fidelity options for smoke tests and benchmarks.
+func Quick() Options { return Options{Runs: 3, Slots: 2500} }
+
+// DensityPoints are the node counts swept for Figures 6(a), 9(a), 10(a);
+// the x axis reported is the measured average number of neighbors.
+var DensityPoints = []int{30, 60, 100, 150, 200}
+
+// RatePoints are the per-node per-slot message generation rates swept for
+// Figures 6(b), 9(b), 10(b).
+var RatePoints = []float64{0.00025, 0.0005, 0.001, 0.0015, 0.002}
+
+// TimeoutPoints are the upper-layer timeouts (slots) swept for Figure 7.
+var TimeoutPoints = []int{100, 150, 200, 250, 300}
+
+// ThresholdPoints are the reliability thresholds swept for Figure 8.
+var ThresholdPoints = []float64{0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// metricCol extracts one plotted metric from a cell.
+func metricCol(cell *PointStats, metric string) float64 {
+	switch metric {
+	case "success":
+		return cell.SuccessRate.Mean()
+	case "contentions":
+		return cell.AvgContentions.Mean()
+	case "completion":
+		return cell.AvgCompletionTime.Mean()
+	default:
+		panic("unknown metric " + metric)
+	}
+}
+
+// sweepTables renders one table per metric from a finished sweep.
+func sweepTables(o Options, xs []string, xName string,
+	results [][]PointStats, titles, metrics []string) []*report.Table {
+
+	tables := make([]*report.Table, len(metrics))
+	for m := range metrics {
+		header := append([]string{xName}, protocolNames(o.Protocols)...)
+		tb := report.NewTable(titles[m], header...)
+		for p := range xs {
+			row := make([]interface{}, 0, len(header))
+			row = append(row, xs[p])
+			for pr := range o.Protocols {
+				row = append(row, metricCol(&results[p][pr], metrics[m]))
+			}
+			tb.AddRow(row...)
+		}
+		tables[m] = tb
+	}
+	return tables
+}
+
+func protocolNames(ps []Protocol) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = string(p)
+	}
+	return out
+}
+
+// Density runs the nodal-density sweep once and returns the three tables
+// it feeds: Figure 6(a) successful delivery rate, Figure 9(a) average
+// number of contention phases, Figure 10(a) average message completion
+// time — each versus the measured average number of neighbors.
+func Density(o Options) (fig6a, fig9a, fig10a *report.Table, err error) {
+	o = o.normal()
+	results, err := Sweep(len(DensityPoints), o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
+		cfg.Nodes = DensityPoints[p]
+		cfg.Slots = o.Slots
+	}, false)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	xs := make([]string, len(DensityPoints))
+	for p := range DensityPoints {
+		xs[p] = fmt.Sprintf("%.1f", results[p][0].AvgDegree.Mean())
+	}
+	ts := sweepTables(o, xs, "avg neighbors", results,
+		[]string{
+			"Figure 6(a): successful delivery rate vs nodal density",
+			"Figure 9(a): avg contention phases vs nodal density",
+			"Figure 10(a): avg completion time vs nodal density",
+		},
+		[]string{"success", "contentions", "completion"})
+	return ts[0], ts[1], ts[2], nil
+}
+
+// Rate runs the message-generation-rate sweep and returns the tables for
+// Figures 6(b), 9(b) and 10(b).
+func Rate(o Options) (fig6b, fig9b, fig10b *report.Table, err error) {
+	o = o.normal()
+	results, err := Sweep(len(RatePoints), o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
+		cfg.Rate = RatePoints[p]
+		cfg.Slots = o.Slots
+	}, false)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	xs := make([]string, len(RatePoints))
+	for p, r := range RatePoints {
+		xs[p] = fmt.Sprintf("%g", r)
+	}
+	ts := sweepTables(o, xs, "msg rate", results,
+		[]string{
+			"Figure 6(b): successful delivery rate vs message generation rate",
+			"Figure 9(b): avg contention phases vs message generation rate",
+			"Figure 10(b): avg completion time vs message generation rate",
+		},
+		[]string{"success", "contentions", "completion"})
+	return ts[0], ts[1], ts[2], nil
+}
+
+// Fig7 sweeps the upper-layer timeout (Figure 7: successful delivery
+// rate vs timeout).
+func Fig7(o Options) (*report.Table, error) {
+	o = o.normal()
+	results, err := Sweep(len(TimeoutPoints), o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
+		cfg.Timeout = TimeoutPoints[p]
+		cfg.Slots = o.Slots
+	}, false)
+	if err != nil {
+		return nil, err
+	}
+	xs := make([]string, len(TimeoutPoints))
+	for p, v := range TimeoutPoints {
+		xs[p] = fmt.Sprintf("%d", v)
+	}
+	return sweepTables(o, xs, "timeout (slots)", results,
+		[]string{"Figure 7: successful delivery rate vs timeout"},
+		[]string{"success"})[0], nil
+}
+
+// Fig8 runs the default workload once per protocol and re-applies the
+// success criterion at each reliability threshold (Figure 8).
+func Fig8(o Options) (*report.Table, error) {
+	o = o.normal()
+	results, err := Sweep(1, o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
+		cfg.Slots = o.Slots
+	}, true)
+	if err != nil {
+		return nil, err
+	}
+	header := append([]string{"threshold"}, protocolNames(o.Protocols)...)
+	tb := report.NewTable("Figure 8: successful delivery rate vs reliability threshold", header...)
+	for _, th := range ThresholdPoints {
+		row := make([]interface{}, 0, len(header))
+		row = append(row, fmt.Sprintf("%.0f%%", th*100))
+		for pr := range o.Protocols {
+			cell := &results[0][pr]
+			var agg metrics.Sample
+			for _, col := range cell.Collectors {
+				s := col.Summarize(th, metrics.GroupFilter(cell.Horizon))
+				if s.Messages > 0 {
+					agg.Add(s.SuccessRate)
+				}
+			}
+			row = append(row, agg.Mean())
+		}
+		tb.AddRow(row...)
+	}
+	return tb, nil
+}
+
+// TableOne renders the paper's Table 1 from the closed-form analysis.
+func TableOne() *report.Table {
+	tb := report.NewTable("Table 1: expected contention phases before the sender sends data",
+		"parameters", "BMMM", "LAMM", "BMW", "BSMA")
+	for _, r := range analysis.Table1() {
+		tb.AddRow(fmt.Sprintf("q=%.2f, n=%d, |S'|=%d", r.Q, r.N, r.Cover),
+			r.BMMM, r.LAMM, r.BMW, r.BSMA)
+	}
+	tb.Note = "paper reports 1.00/1.00/1.05/3.27 and 1.00/1.00/1.05/4.08; " +
+		"BSMA depends on the fitted Zorzi-Rao capture curve"
+	return tb
+}
+
+// Fig5 renders the Figure 5 series (expected contention phases vs n at
+// p = 0.9) for BMMM/LAMM (the fₙ recurrence) and BMW (n/p), with a
+// Monte-Carlo validation column for fₙ.
+func Fig5(maxN int) *report.Table {
+	if maxN <= 0 {
+		maxN = 25
+	}
+	tb := report.NewTable("Figure 5: expected number of contention phases (p=0.9)",
+		"n", "BMMM/LAMM (f_n)", "BMW (n/p)")
+	for _, pt := range analysis.Figure5(maxN, 0.9) {
+		tb.AddRow(fmt.Sprintf("%d", pt.N), pt.BMMM, pt.BMW)
+	}
+	return tb
+}
+
+// Fig2 reproduces the Figure 2 frame timelines: BMW versus BMMM serving
+// one multicast to three receivers on a clean channel. It returns a
+// rendered two-column text diagram.
+func Fig2() (string, error) {
+	render := func(p Protocol) (string, error) {
+		factory, err := Factory(p, mac.DefaultConfig())
+		if err != nil {
+			return "", err
+		}
+		pts := []geom.Point{
+			geom.Pt(0.5, 0.5), geom.Pt(0.6, 0.5), geom.Pt(0.5, 0.6), geom.Pt(0.42, 0.42),
+		}
+		tp := topo.FromPoints(pts, 0.2)
+		rec := &timelineTracer{}
+		eng := sim.New(sim.Config{Topo: tp, Tracer: rec})
+		eng.AttachMACs(factory)
+		script := traffic.NewScript()
+		script.At(0, &sim.Request{ID: 1, Kind: sim.Multicast, Src: 0,
+			Dests: []int{1, 2, 3}, Deadline: 1000})
+		eng.Run(120, script)
+		return strings.Join(rec.lines, "\n"), nil
+	}
+	bmwT, err := render(BMW)
+	if err != nil {
+		return "", err
+	}
+	bmmmT, err := render(BMMM)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	b.WriteString("Figure 2: BMW vs BMMM, one multicast to 3 receivers, clean channel\n\n")
+	b.WriteString("--- BMW (one contention phase per receiver) ---\n")
+	b.WriteString(bmwT)
+	b.WriteString("\n\n--- BMMM (one contention phase, batched CTS/RAK) ---\n")
+	b.WriteString(bmmmT)
+	b.WriteString("\n")
+	return b.String(), nil
+}
+
+// timelineTracer renders transmissions as "slot  FRAME src→dst" lines.
+type timelineTracer struct {
+	lines []string
+}
+
+// TxStart implements sim.Tracer.
+func (t *timelineTracer) TxStart(f *frames.Frame, sender int, start, end sim.Slot) {
+	span := fmt.Sprintf("%d", start)
+	if end != start {
+		span = fmt.Sprintf("%d-%d", start, end)
+	}
+	t.lines = append(t.lines, fmt.Sprintf("  slot %-7s %-4s %s→%s", span, f.Type, f.Src, f.Dst))
+}
+
+// RxOK implements sim.Tracer.
+func (t *timelineTracer) RxOK(*frames.Frame, int, sim.Slot) {}
+
+// RxLost implements sim.Tracer.
+func (t *timelineTracer) RxLost(*frames.Frame, int, sim.Slot) {}

@@ -1,0 +1,231 @@
+// Package experiments defines and runs the simulation studies that
+// regenerate every table and figure of the paper's evaluation (§6–§7):
+// Table 1, Figure 2 (timeline), Figure 5 (analysis) and Figures 6–10
+// (simulation sweeps over nodal density, message generation rate,
+// timeout and reliability threshold).
+//
+// A single simulation run follows the paper's Table 2 defaults: 100
+// nodes uniform in the unit square, radius 0.2, 10 000 slots, timeout
+// 100 slots, traffic mix 0.2/0.4/0.4, generation rate 0.0005 per node
+// per slot, reliability threshold 90%, DS capture per Zorzi–Rao. Every
+// plotted point averages many independent runs; runs execute in parallel
+// on a worker pool with deterministic per-run seeds.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"relmac/internal/baseline/bmw"
+	"relmac/internal/baseline/dcf"
+	"relmac/internal/baseline/kuri"
+	"relmac/internal/baseline/tgbcast"
+	"relmac/internal/capture"
+	"relmac/internal/core"
+	"relmac/internal/mac"
+	"relmac/internal/metrics"
+	"relmac/internal/sim"
+	"relmac/internal/topo"
+	"relmac/internal/traffic"
+
+	mrand "math/rand"
+)
+
+// Protocol identifies one of the simulated MAC protocols.
+type Protocol string
+
+// The five protocols of the study. Plain80211 is the unreliable stock
+// multicast (not plotted in the paper but a useful floor); the other
+// four are the paper's comparison set.
+const (
+	Plain80211 Protocol = "802.11"
+	BSMA       Protocol = "BSMA"
+	BMW        Protocol = "BMW"
+	BMMM       Protocol = "BMMM"
+	LAMM       Protocol = "LAMM"
+	// KKLeader is the leader-based reliable multicast of Kuri and Kasera
+	// (reference [13] of the paper) — not part of the paper's evaluation,
+	// included as an extra comparison point.
+	KKLeader Protocol = "KK-Leader"
+)
+
+// PaperProtocols is the comparison set of the paper's figures, in
+// plotting order.
+var PaperProtocols = []Protocol{BSMA, BMW, BMMM, LAMM}
+
+// AllProtocols additionally includes the stock 802.11 multicast.
+var AllProtocols = []Protocol{Plain80211, BSMA, BMW, BMMM, LAMM}
+
+// ExtendedProtocols adds the comparison points beyond the paper's set.
+var ExtendedProtocols = []Protocol{Plain80211, BSMA, KKLeader, BMW, BMMM, LAMM}
+
+// Factory returns the MAC factory for a protocol.
+func Factory(p Protocol, cfg mac.Config) (func(node int, env *sim.Env) sim.MAC, error) {
+	switch p {
+	case Plain80211:
+		return dcf.NewPlain(cfg), nil
+	case BSMA:
+		return tgbcast.NewBSMA(cfg), nil
+	case BMW:
+		return bmw.New(cfg), nil
+	case BMMM:
+		return core.NewBMMM(cfg), nil
+	case LAMM:
+		return core.NewLAMM(cfg), nil
+	case KKLeader:
+		return kuri.New(cfg), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown protocol %q", p)
+	}
+}
+
+// RunConfig fully describes one simulation run.
+type RunConfig struct {
+	Protocol  Protocol
+	Nodes     int
+	Radius    float64
+	Slots     int
+	Timeout   int
+	Rate      float64
+	Mix       traffic.Mix
+	Threshold float64
+	Capture   capture.Model
+	// ErrRate is the per-frame, per-receiver erasure probability injected
+	// into the channel (0 in the paper's collision-only setup).
+	ErrRate float64
+	MAC     mac.Config
+	Seed    int64
+}
+
+// Defaults returns the paper's Table 2 configuration for the given
+// protocol and seed.
+func Defaults(p Protocol, seed int64) RunConfig {
+	return RunConfig{
+		Protocol:  p,
+		Nodes:     100,
+		Radius:    0.2,
+		Slots:     10000,
+		Timeout:   100,
+		Rate:      0.0005,
+		Mix:       traffic.DefaultMix(),
+		Threshold: 0.9,
+		Capture:   capture.ZorziRao{},
+		MAC:       mac.DefaultConfig(),
+		Seed:      seed,
+	}
+}
+
+// RunResult carries one run's aggregate outcomes.
+type RunResult struct {
+	Summary   metrics.Summary
+	AvgDegree float64
+	// Collector is retained so callers can re-summarise at other
+	// thresholds (Figure 8).
+	Collector *metrics.Collector
+	Horizon   sim.Slot
+}
+
+// Run executes one simulation run to completion.
+func Run(cfg RunConfig) (RunResult, error) {
+	factory, err := Factory(cfg.Protocol, cfg.MAC)
+	if err != nil {
+		return RunResult{}, err
+	}
+	rng := mrand.New(mrand.NewSource(cfg.Seed))
+	tp := topo.Uniform(cfg.Nodes, cfg.Radius, rng)
+	col := metrics.NewCollector()
+	eng := sim.New(sim.Config{
+		Topo:     tp,
+		Capture:  cfg.Capture,
+		ErrRate:  cfg.ErrRate,
+		Seed:     cfg.Seed ^ 0x1e3779b97f4a7c15, // decouple channel RNG from topology
+		Observer: col,
+	})
+	eng.AttachMACs(factory)
+	gen := traffic.NewGenerator(tp)
+	gen.Rate = cfg.Rate
+	gen.Mix = cfg.Mix
+	gen.Timeout = cfg.Timeout
+	eng.Run(cfg.Slots, gen)
+	horizon := sim.Slot(cfg.Slots)
+	return RunResult{
+		Summary:   col.Summarize(cfg.Threshold, metrics.GroupFilter(horizon)),
+		AvgDegree: tp.AvgDegree(),
+		Collector: col,
+		Horizon:   horizon,
+	}, nil
+}
+
+// PointStats aggregates the runs of one (sweep point, protocol) cell.
+type PointStats struct {
+	metrics.SummaryStats
+	AvgDegree metrics.Sample
+	// Collectors are kept only when the sweep requests them (Figure 8).
+	Collectors []*metrics.Collector
+	Horizon    sim.Slot
+}
+
+// Sweep runs `runs` independent simulations for every (point, protocol)
+// pair, in parallel across the machine's cores. mutate configures the
+// run for sweep point i starting from the paper defaults. When
+// keepCollectors is true the per-run collectors are retained for
+// post-hoc re-thresholding.
+func Sweep(points int, protocols []Protocol, runs int,
+	mutate func(point int, cfg *RunConfig), keepCollectors bool) ([][]PointStats, error) {
+
+	results := make([][]PointStats, points)
+	for i := range results {
+		results[i] = make([]PointStats, len(protocols))
+	}
+	type task struct{ point, proto, run int }
+	tasks := make(chan task)
+	var mu sync.Mutex
+	var firstErr error
+	var wg sync.WaitGroup
+	workers := runtime.NumCPU()
+	if workers < 1 {
+		workers = 1
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for tk := range tasks {
+				cfg := Defaults(protocols[tk.proto], seedFor(tk.point, tk.proto, tk.run))
+				mutate(tk.point, &cfg)
+				res, err := Run(cfg)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				cell := &results[tk.point][tk.proto]
+				cell.Add(res.Summary)
+				cell.AvgDegree.Add(res.AvgDegree)
+				cell.Horizon = res.Horizon
+				if keepCollectors {
+					cell.Collectors = append(cell.Collectors, res.Collector)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for p := 0; p < points; p++ {
+		for pr := range protocols {
+			for r := 0; r < runs; r++ {
+				tasks <- task{p, pr, r}
+			}
+		}
+	}
+	close(tasks)
+	wg.Wait()
+	return results, firstErr
+}
+
+// seedFor derives a deterministic seed for (point, protocol, run). All
+// protocols share the same topology/traffic seed per (point, run) so
+// they face identical conditions, as the paper's comparison implies.
+func seedFor(point, proto, run int) int64 {
+	_ = proto // same channel+topology seed across protocols
+	return int64(point)*1_000_003 + int64(run)*7919 + 12345
+}

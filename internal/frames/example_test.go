@@ -1,0 +1,40 @@
+package frames_test
+
+import (
+	"fmt"
+
+	"relmac/internal/frames"
+)
+
+// The Duration field of the i-th RTS in a BMMM batch covers everything
+// that follows it (Figure 3's formula); it shrinks as the batch
+// progresses, so late joiners yield exactly until the batch ends.
+func ExampleTiming_BatchDuration() {
+	tm := frames.DefaultTiming()
+	for i := 1; i <= 3; i++ {
+		fmt.Printf("RTS %d of 3: Duration %d slots\n", i, tm.BatchDuration(3, i))
+	}
+	// Output:
+	// RTS 1 of 3: Duration 16 slots
+	// RTS 2 of 3: Duration 14 slots
+	// RTS 3 of 3: Duration 12 slots
+}
+
+// The paper's §3 argument, quantified: the random-CTS-defer window for
+// FHSS is a single slot, so five receivers are guaranteed to collide.
+func ExampleIFS_MaxCTSDeferWindow() {
+	fh := frames.Spacing(frames.FHSS)
+	w := fh.MaxCTSDeferWindow(false)
+	fmt.Printf("w = %d, P(collision | 5 receivers) = %.0f%%\n",
+		w, 100*frames.CollisionProbability(5, w))
+	// Output:
+	// w = 1, P(collision | 5 receivers) = 100%
+}
+
+// The slotted abstraction of Table 2 corresponds to real 802.11 airtimes
+// for ~160-byte payloads at 2 Mbps.
+func ExampleSlotsPerData() {
+	fmt.Printf("%.1f control-slots per data frame\n", frames.SlotsPerData(164, 2))
+	// Output:
+	// 5.0 control-slots per data frame
+}

@@ -1,0 +1,101 @@
+package frames
+
+import "fmt"
+
+// This file carries the real-time IEEE 802.11 timing constants the paper
+// uses in §3 to prove that the "random CTS defer" fix for the Tang–Gerla
+// protocol cannot work: every receiver's CTS must leave before any
+// contending station's DIFS expires, so the defer window w is bounded by
+// (DIFS - SIFS)/slot — which is 2 slots for FHSS (leaving w ≤ 1 after
+// the mandatory SIFS) and 0 once the PIFS is honoured.
+
+// PHY identifies an 802.11 physical layer variant.
+type PHY uint8
+
+// PHY variants from the 1997 standard discussed in the paper.
+const (
+	// FHSS is the frequency-hopping PHY: SIFS 28 µs, slot 50 µs,
+	// DIFS 128 µs, PIFS 78 µs (paper §3).
+	FHSS PHY = iota
+	// DSSS is the direct-sequence PHY: SIFS 10 µs, slot 20 µs,
+	// DIFS 50 µs, PIFS 30 µs.
+	DSSS
+)
+
+// String implements fmt.Stringer.
+func (p PHY) String() string {
+	switch p {
+	case FHSS:
+		return "FHSS"
+	case DSSS:
+		return "DSSS"
+	default:
+		return fmt.Sprintf("PHY(%d)", uint8(p))
+	}
+}
+
+// IFS holds the inter-frame spacing parameters of a PHY in microseconds.
+type IFS struct {
+	SIFS, PIFS, DIFS, Slot int
+}
+
+// Spacing returns the inter-frame spacings of the PHY.
+func Spacing(p PHY) IFS {
+	switch p {
+	case DSSS:
+		return IFS{SIFS: 10, PIFS: 30, DIFS: 50, Slot: 20}
+	default: // FHSS — the variant the paper's §3 numbers use
+		return IFS{SIFS: 28, PIFS: 78, DIFS: 128, Slot: 50}
+	}
+}
+
+// Validate checks the standard's structural identities: PIFS = SIFS +
+// slot and DIFS = SIFS + 2·slot.
+func (s IFS) Validate() error {
+	if s.PIFS != s.SIFS+s.Slot {
+		return fmt.Errorf("frames: PIFS %d != SIFS %d + slot %d", s.PIFS, s.SIFS, s.Slot)
+	}
+	if s.DIFS != s.SIFS+2*s.Slot {
+		return fmt.Errorf("frames: DIFS %d != SIFS %d + 2·slot %d", s.DIFS, s.SIFS, s.Slot)
+	}
+	return nil
+}
+
+// MaxCTSDeferWindow computes the largest contention window w usable by
+// the hypothetical "random CTS defer" scheme of §3: a receiver may defer
+// its CTS by x ∈ [0..w] slots after SIFS, and every CTS must start
+// before contending stations can seize the medium. With station access
+// gated by DIFS the bound is w < (DIFS - SIFS)/slot; honouring the PIFS
+// (point coordination) tightens it to w < (PIFS - SIFS)/slot. The paper
+// concludes w = 1 for FHSS, and 0 with PIFS — far too small to
+// desynchronise tens of colliding receivers.
+func (s IFS) MaxCTSDeferWindow(honourPIFS bool) int {
+	gate := s.DIFS
+	if honourPIFS {
+		gate = s.PIFS
+	}
+	w := (gate-s.SIFS)/s.Slot - 1
+	if w < 0 {
+		w = 0
+	}
+	return w
+}
+
+// CollisionProbability returns the probability that two or more of n
+// receivers picking independent uniform defers in [0..w] collide on the
+// same slot — the birthday bound that shows why the tiny windows above
+// cannot rescue the scheme. n ≤ 0 or w < 0 return 0.
+func CollisionProbability(n, w int) float64 {
+	if n <= 1 || w < 0 {
+		return 0
+	}
+	slots := w + 1
+	if n > slots {
+		return 1
+	}
+	pFree := 1.0
+	for i := 0; i < n; i++ {
+		pFree *= float64(slots-i) / float64(slots)
+	}
+	return 1 - pFree
+}

@@ -1,0 +1,45 @@
+package geom_test
+
+import (
+	"fmt"
+
+	"relmac/internal/geom"
+)
+
+// A receiver set with two co-located pairs: the minimum cover set keeps
+// one node per location.
+func ExampleMinCoverSet() {
+	pts := []geom.Point{
+		geom.Pt(0.60, 0.50), geom.Pt(0.60, 0.50),
+		geom.Pt(0.50, 0.60), geom.Pt(0.50, 0.60),
+	}
+	mcs := geom.MinCoverSet(pts, 0.2)
+	fmt.Println("cover set:", mcs)
+	fmt.Println("valid:", geom.IsCoverSet(pts, mcs, 0.2))
+	// Output:
+	// cover set: [0 2]
+	// valid: true
+}
+
+// The cover angle of a node for a neighbor at exactly the transmission
+// radius spans 120° (half-width acos(1/2) = 60°).
+func ExampleCoverAngle() {
+	a, ok := geom.CoverAngle(geom.Pt(0, 0), geom.Pt(0.2, 0), 0.2)
+	fmt.Println(ok, a)
+	// Output:
+	// true [300.0°, 420.0°]
+}
+
+// UPDATE(S, S_ACK): a node co-located with an ACKing node is covered and
+// retired; a distant node remains.
+func ExampleUpdate() {
+	S := []geom.Point{
+		geom.Pt(0.3, 0.3), // acked
+		geom.Pt(0.3, 0.3), // covered by the acked node
+		geom.Pt(0.7, 0.7), // far away
+	}
+	remaining := geom.Update(S, []geom.Point{S[0]}, 0.2)
+	fmt.Println(remaining)
+	// Output:
+	// [2]
+}

@@ -1,0 +1,72 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzArcSet checks the core ArcSet invariants against arbitrary arc
+// soups: coverage stays within [0, 2π], gaps complement coverage, and
+// IsFull agrees with the uncovered measure.
+func FuzzArcSet(f *testing.F) {
+	f.Add(0.0, 1.0, 2.0, 3.0, 5.0, 6.0)
+	f.Add(0.0, 6.28, 1.0, 2.0, 3.0, 4.0)
+	f.Add(-1.0, 1.0, 2.5, 9.0, 4.0, 4.0)
+	f.Fuzz(func(t *testing.T, a1, b1, a2, b2, a3, b3 float64) {
+		for _, v := range []float64{a1, b1, a2, b2, a3, b3} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e6 {
+				t.Skip("out of modelled range")
+			}
+		}
+		var s ArcSet
+		s.Add(NewArc(a1, b1))
+		s.Add(NewArc(a2, b2))
+		s.Add(NewArc(a3, b3))
+		cov := s.Covered()
+		if cov < 0 || cov > FullCircle+1e-9 {
+			t.Fatalf("coverage out of range: %v", cov)
+		}
+		var gapSum float64
+		for _, g := range s.Gaps() {
+			if g.Measure() < 0 {
+				t.Fatalf("negative gap %v", g)
+			}
+			gapSum += g.Measure()
+		}
+		if math.Abs(gapSum+cov-FullCircle) > 1e-6 {
+			t.Fatalf("gaps %v + covered %v != 2π", gapSum, cov)
+		}
+		if s.IsFull() != (s.Uncovered() < 1e-6) {
+			t.Fatalf("IsFull=%v but uncovered=%v", s.IsFull(), s.Uncovered())
+		}
+	})
+}
+
+// FuzzCoverSet checks that MinCoverSet always returns a valid cover set
+// for arbitrary small point clouds.
+func FuzzCoverSet(f *testing.F) {
+	f.Add(0.5, 0.5, 0.55, 0.5, 0.5, 0.55, 0.6, 0.6)
+	f.Add(0.1, 0.1, 0.9, 0.9, 0.1, 0.9, 0.9, 0.1)
+	f.Fuzz(func(t *testing.T, x1, y1, x2, y2, x3, y3, x4, y4 float64) {
+		coords := []float64{x1, y1, x2, y2, x3, y3, x4, y4}
+		pts := make([]Point, 0, 4)
+		for i := 0; i < len(coords); i += 2 {
+			x, y := coords[i], coords[i+1]
+			if math.IsNaN(x) || math.IsNaN(y) || math.Abs(x) > 10 || math.Abs(y) > 10 {
+				t.Skip("out of modelled range")
+			}
+			pts = append(pts, Pt(x, y))
+		}
+		mcs := MinCoverSet(pts, 0.2)
+		if len(mcs) == 0 {
+			t.Fatal("empty cover set for non-empty input")
+		}
+		if !IsCoverSet(pts, mcs, 0.2) {
+			t.Fatalf("MinCoverSet(%v) = %v is not a cover set", pts, mcs)
+		}
+		greedy := GreedyCoverSet(pts, 0.2)
+		if len(greedy) < len(mcs) {
+			t.Fatalf("greedy (%d) beat the exact minimum (%d)", len(greedy), len(mcs))
+		}
+	})
+}

@@ -1,0 +1,416 @@
+package geom
+
+import "math/bits"
+
+// ExactMCSLimit is the largest set size for which MinCoverSet uses the
+// exact (optimal) search. The paper's companion reference [18] gives an
+// O(n^{4/3}) algorithm that is not publicly available; for the set sizes
+// that arise in the paper's simulations (average node degree ≈ 4–20) an
+// exact combinatorial search is affordable and, unlike a heuristic,
+// guarantees the minimal |S'| that LAMM's efficiency analysis assumes.
+// Larger sets fall back to a greedy heuristic with redundancy pruning.
+const ExactMCSLimit = 16
+
+// MinCoverSet computes MCS(S): a minimum-cardinality subset S' of pts such
+// that A(S') = A(pts) (Definition 1), where every station has transmission
+// radius r. It returns the selected indices in increasing order.
+//
+// Coverage is decided with the paper's angle-based criterion (Theorem 4),
+// which for equal radii is exact over the contributions of neighboring
+// disks. For len(pts) ≤ ExactMCSLimit the result is provably minimal;
+// beyond that a greedy heuristic is used (see GreedyCoverSet).
+func MinCoverSet(pts []Point, r float64) []int {
+	if len(pts) <= ExactMCSLimit {
+		return ExactCoverSet(pts, r)
+	}
+	return GreedyCoverSet(pts, r)
+}
+
+// coverTable precomputes, for every ordered pair (i, j), the cover angle
+// of pts[i] for pts[j] together with a helper bitmask of candidate
+// coverers per node.
+type coverTable struct {
+	n       int
+	arcs    [][]Arc  // arcs[i][j]: cover angle of i for j; Measure()==0 when absent
+	has     [][]bool // has[i][j]: whether j contributes to covering i
+	helpers []uint64 // helpers[i]: bitmask of j (j≠i) with has[i][j]
+	full    [][]bool // full[i][j]: arc covers the whole circle (co-located)
+	scratch []Arc    // reusable buffer for coverage checks
+}
+
+func newCoverTable(pts []Point, r float64) *coverTable {
+	n := len(pts)
+	t := &coverTable{
+		n:       n,
+		arcs:    make([][]Arc, n),
+		has:     make([][]bool, n),
+		full:    make([][]bool, n),
+		helpers: make([]uint64, n),
+	}
+	for i := 0; i < n; i++ {
+		t.arcs[i] = make([]Arc, n)
+		t.has[i] = make([]bool, n)
+		t.full[i] = make([]bool, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if a, ok := CoverAngle(pts[i], pts[j], r); ok {
+				t.arcs[i][j] = a
+				t.has[i][j] = true
+				t.full[i][j] = a.IsFull()
+				if n <= 64 {
+					t.helpers[i] |= 1 << uint(j)
+				}
+			}
+		}
+	}
+	return t
+}
+
+// coveredBy reports whether node i's disk is fully covered by the nodes
+// whose bits are set in mask (i's own bit is ignored). It is the hot path
+// of the exact search and avoids all allocation.
+func (t *coverTable) coveredBy(i int, mask uint64) bool {
+	t.scratch = t.scratch[:0]
+	rest := mask & t.helpers[i]
+	for rest != 0 {
+		j := trailingZeros64(rest)
+		rest &^= 1 << uint(j)
+		if t.full[i][j] {
+			return true
+		}
+		a := t.arcs[i][j]
+		if a.Hi > FullCircle {
+			t.scratch = append(t.scratch,
+				Arc{Lo: a.Lo, Hi: FullCircle}, Arc{Lo: 0, Hi: a.Hi - FullCircle})
+		} else {
+			t.scratch = append(t.scratch, a)
+		}
+	}
+	return segmentsCoverCircle(t.scratch)
+}
+
+// segmentsCoverCircle reports whether the non-wrapping segments cover
+// [0, 2π). The slice is sorted in place (insertion sort: the inputs are
+// tiny).
+func segmentsCoverCircle(segs []Arc) bool {
+	if len(segs) == 0 {
+		return false
+	}
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j].Lo < segs[j-1].Lo; j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
+	if segs[0].Lo > coverEps {
+		return false
+	}
+	reach := segs[0].Hi
+	for _, s := range segs[1:] {
+		if s.Lo > reach+coverEps {
+			return false
+		}
+		if s.Hi > reach {
+			reach = s.Hi
+		}
+	}
+	return reach >= FullCircle-coverEps
+}
+
+// feasible reports whether the subset encoded by mask is a cover set:
+// every node outside mask must be fully covered by the nodes inside it.
+func (t *coverTable) feasible(mask uint64) bool {
+	for i := 0; i < t.n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			continue
+		}
+		// Fast necessary condition: some helper must be selected at all.
+		if mask&t.helpers[i] == 0 {
+			return false
+		}
+		if !t.coveredBy(i, mask) {
+			return false
+		}
+	}
+	return true
+}
+
+// ExactCoverSet finds a provably minimum cover set with a bounded
+// branch-and-bound: a greedy solution supplies the upper bound, the set
+// of "mandatory" nodes (nodes no combination of the others can cover,
+// which therefore belong to every cover set) supplies a lower bound and a
+// subset filter, and cardinalities in between are enumerated with
+// Gosper's hack. It panics if len(pts) > 64; callers should route through
+// MinCoverSet, which bounds the exact search by ExactMCSLimit.
+func ExactCoverSet(pts []Point, r float64) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	if n > 64 {
+		panic("geom: ExactCoverSet limited to 64 points")
+	}
+	if n == 1 {
+		return []int{0}
+	}
+	t := newCoverTable(pts, r)
+	greedy := GreedyCoverSet(pts, r)
+	all := uint64(1)<<uint(n) - 1
+	// Mandatory nodes: not coverable even by all other nodes combined.
+	var mandatory uint64
+	for i := 0; i < n; i++ {
+		if !t.coveredBy(i, all&^(1<<uint(i))) {
+			mandatory |= 1 << uint(i)
+		}
+	}
+	lb := popcount(mandatory)
+	if lb == 0 {
+		lb = 1
+	}
+	idx := make([]int, 0, n)
+	for k := lb; k < len(greedy); k++ {
+		if mask, ok := firstFeasible(t, n, k, mandatory); ok {
+			return maskToIndices(mask, n, idx)
+		}
+	}
+	// The greedy solution is already optimal.
+	return greedy
+}
+
+// firstFeasible enumerates the k-subsets of {0..n-1} that contain every
+// mandatory node (Gosper's hack) and returns the first feasible one.
+func firstFeasible(t *coverTable, n, k int, mandatory uint64) (uint64, bool) {
+	limit := uint64(1) << uint(n)
+	mask := uint64(1)<<uint(k) - 1
+	for mask < limit {
+		if mask&mandatory == mandatory && t.feasible(mask) {
+			return mask, true
+		}
+		// Gosper's hack: next subset with the same popcount.
+		c := mask & (-mask)
+		rr := mask + c
+		mask = (((rr ^ mask) >> 2) / c) | rr
+	}
+	return 0, false
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }
+
+// splitArc appends a (possibly wrapping) arc to buf as non-wrapping
+// segments.
+func splitArc(buf []Arc, a Arc) []Arc {
+	if a.Hi > FullCircle {
+		return append(buf, Arc{Lo: a.Lo, Hi: FullCircle}, Arc{Lo: 0, Hi: a.Hi - FullCircle})
+	}
+	return append(buf, a)
+}
+
+// coveredWith returns the covered measure of segs ∪ {a}, where segs is a
+// merged, sorted list of non-wrapping segments. scratch is reused across
+// calls and returned for the caller to keep.
+func coveredWith(segs []Arc, a Arc, scratch []Arc) (float64, []Arc) {
+	scratch = append(scratch[:0], segs...)
+	scratch = splitArc(scratch, a)
+	for i := 1; i < len(scratch); i++ {
+		for j := i; j > 0 && scratch[j].Lo < scratch[j-1].Lo; j-- {
+			scratch[j], scratch[j-1] = scratch[j-1], scratch[j]
+		}
+	}
+	var total, reach float64
+	reach = -1
+	for _, s := range scratch {
+		if s.Lo > reach {
+			total += s.Hi - s.Lo
+			reach = s.Hi
+		} else if s.Hi > reach {
+			total += s.Hi - reach
+			reach = s.Hi
+		}
+	}
+	if total > FullCircle {
+		total = FullCircle
+	}
+	return total, scratch
+}
+
+// mergeArc inserts a (possibly wrapping) arc into a merged, sorted list
+// of non-wrapping segments, keeping the list merged and sorted.
+func mergeArc(segs []Arc, a Arc) []Arc {
+	segs = splitArc(segs, a)
+	for i := 1; i < len(segs); i++ {
+		for j := i; j > 0 && segs[j].Lo < segs[j-1].Lo; j-- {
+			segs[j], segs[j-1] = segs[j-1], segs[j]
+		}
+	}
+	w := 0
+	for i := 1; i < len(segs); i++ {
+		if segs[i].Lo <= segs[w].Hi+coverEps {
+			if segs[i].Hi > segs[w].Hi {
+				segs[w].Hi = segs[i].Hi
+			}
+		} else {
+			w++
+			segs[w] = segs[i]
+		}
+	}
+	return segs[:w+1]
+}
+
+// measureOf sums the measures of merged, sorted segments.
+func measureOf(segs []Arc) float64 {
+	var total float64
+	for _, s := range segs {
+		total += s.Hi - s.Lo
+	}
+	if total > FullCircle {
+		total = FullCircle
+	}
+	return total
+}
+
+func maskToIndices(mask uint64, n int, buf []int) []int {
+	out := buf[:0]
+	for i := 0; i < n; i++ {
+		if mask&(1<<uint(i)) != 0 {
+			out = append(out, i)
+		}
+	}
+	return append([]int(nil), out...)
+}
+
+// GreedyCoverSet computes a (not necessarily minimal) cover set using a
+// largest-arc-reduction greedy rule followed by redundancy pruning:
+//
+//  1. repeatedly select the node whose addition most reduces the total
+//     uncovered arc measure across all not-yet-selected, not-yet-covered
+//     nodes (selecting a node also discharges its own coverage
+//     obligation);
+//  2. attempt to drop each selected node, keeping the drop when the
+//     remainder is still a cover set.
+//
+// The result always satisfies IsCoverSet.
+func GreedyCoverSet(pts []Point, r float64) []int {
+	n := len(pts)
+	if n == 0 {
+		return nil
+	}
+	if n == 1 {
+		return []int{0}
+	}
+	arcs := make([][]Arc, n)   // arcs[i][j] cover angle of i for j (zero measure if none)
+	helper := make([][]int, n) // helper[i]: js that can contribute to i
+	for i := 0; i < n; i++ {
+		arcs[i] = make([]Arc, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if a, ok := CoverAngle(pts[i], pts[j], r); ok {
+				arcs[i][j] = a
+				helper[i] = append(helper[i], j)
+			}
+		}
+	}
+	selected := make([]bool, n)
+	// acc[i] holds the merged, sorted, non-wrapping segments already
+	// covering node i's circle; covered[i] their total measure. All
+	// scoring runs on flat buffers — this loop dominates LAMM's CPU time
+	// in dense topologies.
+	acc := make([][]Arc, n)
+	covered := make([]float64, n)
+	var scratch []Arc
+	uncov := func(i int) float64 {
+		if selected[i] {
+			return 0
+		}
+		return FullCircle - covered[i]
+	}
+	order := make([]int, 0, n)
+	open := make([]int, 0, n)
+	for {
+		open = open[:0]
+		for i := 0; i < n; i++ {
+			if !selected[i] && uncov(i) > coverEps {
+				open = append(open, i)
+			}
+		}
+		if len(open) == 0 {
+			break
+		}
+		best, bestScore := -1, -1.0
+		for j := 0; j < n; j++ {
+			if selected[j] {
+				continue
+			}
+			score := uncov(j) // selecting j discharges its own obligation
+			for _, i := range open {
+				if i == j || arcs[i][j].Measure() <= 0 {
+					continue
+				}
+				var with float64
+				with, scratch = coveredWith(acc[i], arcs[i][j], scratch)
+				score += with - covered[i]
+			}
+			if score > bestScore {
+				best, bestScore = j, score
+			}
+		}
+		if best < 0 {
+			break // cannot happen: selecting everything is always feasible
+		}
+		selected[best] = true
+		order = append(order, best)
+		for i := 0; i < n; i++ {
+			if i != best && arcs[i][best].Measure() > 0 {
+				acc[i] = mergeArc(acc[i], arcs[i][best])
+				covered[i] = measureOf(acc[i])
+			}
+		}
+	}
+	// Redundancy pruning, most recently added first.
+	current := make([]int, 0, len(order))
+	for _, j := range order {
+		current = append(current, j)
+	}
+	for k := len(current) - 1; k >= 0; k-- {
+		trial := make([]int, 0, len(current)-1)
+		trial = append(trial, current[:k]...)
+		trial = append(trial, current[k+1:]...)
+		if len(trial) > 0 && IsCoverSet(pts, trial, r) {
+			current = trial
+		}
+	}
+	sortInts(current)
+	return current
+}
+
+// CoverSetSizeBound returns a trivial lower bound on the minimum cover set
+// size: the number of "lonely" nodes whose disks cannot be covered even by
+// all other nodes combined (each such node must belong to every cover
+// set). Used by tests and by diagnostics.
+func CoverSetSizeBound(pts []Point, r float64) int {
+	count := 0
+	for i, p := range pts {
+		others := make([]Point, 0, len(pts)-1)
+		for j, q := range pts {
+			if j != i {
+				others = append(others, q)
+			}
+		}
+		if !DiskCovered(p, others, r) {
+			count++
+		}
+	}
+	return count
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func trailingZeros64(x uint64) int { return bits.TrailingZeros64(x) }

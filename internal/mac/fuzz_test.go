@@ -1,0 +1,84 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+
+	"relmac/internal/sim"
+)
+
+// FuzzBackoff drives the contention machine with arbitrary busy/idle
+// patterns (bytes: even = idle, odd = busy) and checks the safety and
+// liveness invariants: it never clears on a busy slot, and it always
+// clears within CW slots of continuous idle once a phase is active.
+func FuzzBackoff(f *testing.F) {
+	f.Add([]byte{0, 1, 0, 0, 1, 0}, int64(1))
+	f.Add([]byte{1, 1, 1, 1}, int64(2))
+	f.Add([]byte{}, int64(3))
+	f.Fuzz(func(t *testing.T, pattern []byte, seed int64) {
+		if len(pattern) > 1024 {
+			t.Skip("pattern too long")
+		}
+		rng := rand.New(rand.NewSource(seed))
+		b := NewBackoff(8, 32)
+		b.Begin()
+		cleared := false
+		for _, p := range pattern {
+			busy := p%2 == 1
+			if b.Tick(busy, rng) {
+				if busy {
+					t.Fatal("cleared on a busy slot")
+				}
+				cleared = true
+				break
+			}
+		}
+		if cleared {
+			return
+		}
+		// Liveness: continuous idle must clear within CWMax+2 slots.
+		for i := 0; i < 34; i++ {
+			if b.Tick(false, rng) {
+				return
+			}
+		}
+		t.Fatal("never cleared despite continuous idle")
+	})
+}
+
+// FuzzNAVTable checks per-exchange reservation invariants under random
+// Observe sequences.
+func FuzzNAVTable(f *testing.F) {
+	f.Add([]byte{1, 10, 2, 20, 1, 5}, int64(30))
+	f.Fuzz(func(t *testing.T, ops []byte, nowRaw int64) {
+		if len(ops) > 512 {
+			t.Skip("too many ops")
+		}
+		var n NAVTable
+		maxUntil := int64(-1)
+		for i := 0; i+1 < len(ops); i += 2 {
+			id := int64(ops[i] % 8)
+			until := int64(ops[i+1])
+			n.Observe(id, sim.Slot(until))
+			if until > maxUntil {
+				maxUntil = until
+			}
+		}
+		now := nowRaw % 300
+		if now < 0 {
+			now = -now
+		}
+		if n.Yielding(sim.Slot(now)) && maxUntil < now {
+			t.Fatal("yielding past every reservation")
+		}
+		if !n.Yielding(sim.Slot(now)) && maxUntil >= now {
+			t.Fatal("not yielding despite an active reservation")
+		}
+		// Own-exchange reservations never block their own responses.
+		for id := int64(0); id < 8; id++ {
+			if n.YieldingToOther(id, sim.Slot(now)) && !n.Yielding(sim.Slot(now)) {
+				t.Fatal("YieldingToOther without any active reservation")
+			}
+		}
+	})
+}

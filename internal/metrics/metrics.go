@@ -1,0 +1,232 @@
+// Package metrics records per-message outcomes during a simulation run
+// and computes the quantities the paper's evaluation reports (§7):
+//
+//   - successful delivery rate — the fraction of requests that reached at
+//     least the reliability threshold of their intended receivers before
+//     timing out (Figures 6, 7, 8);
+//   - average number of contention phases per message (Figure 9);
+//   - average message completion time (Figure 10).
+//
+// A Collector implements sim.Observer and is attached to one engine run;
+// cross-run aggregation lives in the stats helpers.
+package metrics
+
+import (
+	"relmac/internal/frames"
+	"relmac/internal/sim"
+)
+
+// Record captures the lifecycle of one MAC service request.
+type Record struct {
+	// ID, Kind, Src and Intended mirror the request.
+	ID       int64
+	Kind     sim.Kind
+	Src      int
+	Intended int
+	// Arrival and Deadline are the request's MAC arrival slot and upper
+	// layer timeout.
+	Arrival  sim.Slot
+	Deadline sim.Slot
+	// Contentions counts CSMA/CA contention phases spent on the message.
+	Contentions int
+	// Completed is set when the sending MAC reported success, at slot
+	// CompletedAt. Note that for an unreliable protocol "completed" only
+	// means the sender finished its procedure — BSMA can complete
+	// without reaching anyone (paper §7.3).
+	Completed   bool
+	CompletedAt sim.Slot
+	// Aborted is set when the sender gave up (timeout/retry budget).
+	Aborted bool
+	// Delivered counts distinct intended receivers that decoded the DATA
+	// frame.
+	Delivered int
+	intended  map[int]bool
+	delivered map[int]bool
+}
+
+// DeliveredFraction returns the fraction of intended receivers reached.
+// A request with no intended receivers counts as fully delivered.
+func (r *Record) DeliveredFraction() float64 {
+	if r.Intended == 0 {
+		return 1
+	}
+	return float64(r.Delivered) / float64(r.Intended)
+}
+
+// Successful applies the paper's success criterion at the given
+// reliability threshold: the message must have been completed by the
+// sender no later than its deadline and must have reached at least
+// threshold of its intended receivers.
+func (r *Record) Successful(threshold float64) bool {
+	if !r.Completed || r.CompletedAt > r.Deadline {
+		return false
+	}
+	return r.DeliveredFraction() >= threshold-1e-12
+}
+
+// CompletionTime returns the slots from MAC arrival to sender completion;
+// meaningful only when Completed.
+func (r *Record) CompletionTime() sim.Slot { return r.CompletedAt - r.Arrival }
+
+// Collector implements sim.Observer, accumulating Records.
+type Collector struct {
+	records []*Record
+	byID    map[int64]*Record
+	frames  [8]int64 // indexed by frames.Type
+}
+
+// NewCollector returns an empty Collector.
+func NewCollector() *Collector {
+	return &Collector{byID: make(map[int64]*Record)}
+}
+
+// OnSubmit implements sim.Observer.
+func (c *Collector) OnSubmit(req *sim.Request, now sim.Slot) {
+	r := &Record{
+		ID:        req.ID,
+		Kind:      req.Kind,
+		Src:       req.Src,
+		Intended:  len(req.Dests),
+		Arrival:   req.Arrival,
+		Deadline:  req.Deadline,
+		intended:  make(map[int]bool, len(req.Dests)),
+		delivered: make(map[int]bool, len(req.Dests)),
+	}
+	for _, d := range req.Dests {
+		r.intended[d] = true
+	}
+	c.records = append(c.records, r)
+	c.byID[req.ID] = r
+}
+
+// OnContention implements sim.Observer.
+func (c *Collector) OnContention(req *sim.Request, now sim.Slot) {
+	if r := c.byID[req.ID]; r != nil {
+		r.Contentions++
+	}
+}
+
+// OnFrameTx implements sim.Observer.
+func (c *Collector) OnFrameTx(f *frames.Frame, sender int, now sim.Slot) {
+	if int(f.Type) < len(c.frames) {
+		c.frames[f.Type]++
+	}
+}
+
+// OnDataRx implements sim.Observer.
+func (c *Collector) OnDataRx(msgID int64, receiver int, now sim.Slot) {
+	r := c.byID[msgID]
+	if r == nil || !r.intended[receiver] || r.delivered[receiver] {
+		return
+	}
+	r.delivered[receiver] = true
+	r.Delivered++
+}
+
+// OnComplete implements sim.Observer.
+func (c *Collector) OnComplete(req *sim.Request, now sim.Slot) {
+	if r := c.byID[req.ID]; r != nil && !r.Completed {
+		r.Completed = true
+		r.CompletedAt = now
+	}
+}
+
+// OnAbort implements sim.Observer.
+func (c *Collector) OnAbort(req *sim.Request, now sim.Slot) {
+	if r := c.byID[req.ID]; r != nil {
+		r.Aborted = true
+	}
+}
+
+// Records returns all records in submission order.
+func (c *Collector) Records() []*Record { return c.records }
+
+// FrameCount returns the number of frames of the given type transmitted.
+func (c *Collector) FrameCount(t frames.Type) int64 {
+	if int(t) < len(c.frames) {
+		return c.frames[t]
+	}
+	return 0
+}
+
+// Filter selects which records enter a Summary.
+type Filter struct {
+	// Kinds restricts to the given kinds; empty means all.
+	Kinds []sim.Kind
+	// Horizon excludes messages whose deadline lies beyond the end of
+	// the simulated window, so partially-observed messages don't bias
+	// the statistics. Zero disables the cut.
+	Horizon sim.Slot
+}
+
+func (f Filter) match(r *Record) bool {
+	if f.Horizon > 0 && r.Deadline > f.Horizon {
+		return false
+	}
+	if len(f.Kinds) == 0 {
+		return true
+	}
+	for _, k := range f.Kinds {
+		if r.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// GroupFilter selects the multicast-style traffic the paper's figures
+// measure (multicast and broadcast requests), cut at the horizon.
+func GroupFilter(horizon sim.Slot) Filter {
+	return Filter{Kinds: []sim.Kind{sim.Multicast, sim.Broadcast}, Horizon: horizon}
+}
+
+// Summary aggregates one run's records.
+type Summary struct {
+	// Messages is the number of records matching the filter.
+	Messages int
+	// SuccessRate is the paper's successful delivery rate at the chosen
+	// reliability threshold.
+	SuccessRate float64
+	// AvgContentions is the mean number of contention phases per
+	// message (Figure 9's y axis).
+	AvgContentions float64
+	// AvgCompletionTime is the mean slots from arrival to sender
+	// completion over completed messages (Figure 10's y axis).
+	AvgCompletionTime float64
+	// CompletedCount is the number of sender-completed messages.
+	CompletedCount int
+	// MeanDeliveredFraction is the mean fraction of intended receivers
+	// reached, regardless of threshold.
+	MeanDeliveredFraction float64
+}
+
+// Summarize computes a Summary at the given reliability threshold over
+// the records selected by the filter.
+func (c *Collector) Summarize(threshold float64, f Filter) Summary {
+	var s Summary
+	var contentions, compTime, delivered float64
+	for _, r := range c.records {
+		if !f.match(r) {
+			continue
+		}
+		s.Messages++
+		contentions += float64(r.Contentions)
+		delivered += r.DeliveredFraction()
+		if r.Successful(threshold) {
+			s.SuccessRate++
+		}
+		if r.Completed {
+			s.CompletedCount++
+			compTime += float64(r.CompletionTime())
+		}
+	}
+	if s.Messages > 0 {
+		s.SuccessRate /= float64(s.Messages)
+		s.AvgContentions = contentions / float64(s.Messages)
+		s.MeanDeliveredFraction = delivered / float64(s.Messages)
+	}
+	if s.CompletedCount > 0 {
+		s.AvgCompletionTime = compTime / float64(s.CompletedCount)
+	}
+	return s
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import "math"
+
+// Sample accumulates scalar observations across simulation runs and
+// reports mean, standard deviation and a 95% confidence half-width. The
+// paper averages every plotted point over 100 runs with different seeds.
+type Sample struct {
+	n          int
+	sum, sumSq float64
+}
+
+// Add records one observation.
+func (s *Sample) Add(v float64) {
+	s.n++
+	s.sum += v
+	s.sumSq += v * v
+}
+
+// N returns the number of observations.
+func (s *Sample) N() int { return s.n }
+
+// Mean returns the sample mean (0 for an empty sample).
+func (s *Sample) Mean() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.sum / float64(s.n)
+}
+
+// StdDev returns the unbiased sample standard deviation (0 for fewer than
+// two observations).
+func (s *Sample) StdDev() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	m := s.Mean()
+	v := (s.sumSq - float64(s.n)*m*m) / float64(s.n-1)
+	if v < 0 {
+		v = 0 // numeric noise
+	}
+	return math.Sqrt(v)
+}
+
+// CI95 returns the half-width of a normal-approximation 95% confidence
+// interval around the mean.
+func (s *Sample) CI95() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev() / math.Sqrt(float64(s.n))
+}
+
+// WelchT computes Welch's t statistic and (approximate) degrees of
+// freedom for the difference of two sample means — the test behind
+// "LAMM's delivery rate is significantly higher than BMMM's" style
+// claims in EXPERIMENTS.md. It returns t = 0, df = 0 when either sample
+// has fewer than two observations or both variances vanish.
+func WelchT(a, b *Sample) (t, df float64) {
+	if a.n < 2 || b.n < 2 {
+		return 0, 0
+	}
+	va := a.StdDev() * a.StdDev() / float64(a.n)
+	vb := b.StdDev() * b.StdDev() / float64(b.n)
+	if va+vb == 0 {
+		return 0, 0
+	}
+	t = (a.Mean() - b.Mean()) / math.Sqrt(va+vb)
+	df = (va + vb) * (va + vb) /
+		(va*va/float64(a.n-1) + vb*vb/float64(b.n-1))
+	return t, df
+}
+
+// SignificantlyGreater reports whether sample a's mean exceeds sample
+// b's at roughly the 95% one-sided level (t > 1.7 with df ≥ 10, a
+// conservative normal-ish threshold adequate for the ≥30-run samples the
+// experiment harness produces).
+func SignificantlyGreater(a, b *Sample) bool {
+	t, df := WelchT(a, b)
+	return df >= 10 && t > 1.7
+}
+
+// SummaryStats aggregates run Summaries metric-by-metric.
+type SummaryStats struct {
+	// SuccessRate, AvgContentions, AvgCompletionTime and
+	// MeanDeliveredFraction aggregate the same-named Summary fields.
+	SuccessRate           Sample
+	AvgContentions        Sample
+	AvgCompletionTime     Sample
+	MeanDeliveredFraction Sample
+	// Messages totals the messages observed over all runs.
+	Messages int
+}
+
+// Add folds one run's Summary into the aggregate. Runs that observed no
+// messages are skipped entirely; runs with messages but no completions
+// contribute to every metric except completion time.
+func (a *SummaryStats) Add(s Summary) {
+	if s.Messages == 0 {
+		return
+	}
+	a.Messages += s.Messages
+	a.SuccessRate.Add(s.SuccessRate)
+	a.AvgContentions.Add(s.AvgContentions)
+	a.MeanDeliveredFraction.Add(s.MeanDeliveredFraction)
+	if s.CompletedCount > 0 {
+		a.AvgCompletionTime.Add(s.AvgCompletionTime)
+	}
+}

@@ -1,0 +1,132 @@
+// Package mobility adds node movement to the simulation — an extension
+// beyond the paper, which evaluates static topologies only. The paper's
+// protocols depend on topology knowledge in two ways: every sender's
+// neighbor/member lists (learned from beacons) and, for LAMM, the
+// stations' advertised locations. Under mobility both go stale between
+// beacon refreshes, which is exactly what this package lets experiments
+// quantify.
+//
+// The model is the classic random waypoint: every node picks a uniform
+// destination in the unit square and a uniform speed from
+// [MinSpeed, MaxSpeed] (distance units per slot), travels there in a
+// straight line, pauses, and repeats. A Driver advances the model each
+// slot through the engine's SlotHook and swaps a freshly built topology
+// snapshot into the engine every BeaconEvery slots — stations act on
+// beacon-fresh, not instantaneous, topology, just like real 802.11.
+package mobility
+
+import (
+	"math/rand"
+
+	"relmac/internal/geom"
+	"relmac/internal/sim"
+	"relmac/internal/topo"
+)
+
+// Waypoint is the random waypoint mobility model.
+type Waypoint struct {
+	// MinSpeed and MaxSpeed bound the per-node speed in units per slot.
+	MinSpeed, MaxSpeed float64
+	// Pause is how many slots a node rests after reaching its waypoint.
+	Pause int
+
+	rng   *rand.Rand
+	pos   []geom.Point
+	dest  []geom.Point
+	speed []float64
+	rest  []int
+}
+
+// NewWaypoint builds a model with n nodes at uniform initial positions.
+func NewWaypoint(n int, minSpeed, maxSpeed float64, pause int, rng *rand.Rand) *Waypoint {
+	if maxSpeed < minSpeed {
+		maxSpeed = minSpeed
+	}
+	w := &Waypoint{
+		MinSpeed: minSpeed, MaxSpeed: maxSpeed, Pause: pause,
+		rng:   rng,
+		pos:   make([]geom.Point, n),
+		dest:  make([]geom.Point, n),
+		speed: make([]float64, n),
+		rest:  make([]int, n),
+	}
+	for i := range w.pos {
+		w.pos[i] = geom.Pt(rng.Float64(), rng.Float64())
+		w.pickWaypoint(i)
+	}
+	return w
+}
+
+func (w *Waypoint) pickWaypoint(i int) {
+	w.dest[i] = geom.Pt(w.rng.Float64(), w.rng.Float64())
+	w.speed[i] = w.MinSpeed + w.rng.Float64()*(w.MaxSpeed-w.MinSpeed)
+}
+
+// N returns the number of nodes.
+func (w *Waypoint) N() int { return len(w.pos) }
+
+// Pos returns node i's current position.
+func (w *Waypoint) Pos(i int) geom.Point { return w.pos[i] }
+
+// Positions returns a copy of all current positions.
+func (w *Waypoint) Positions() []geom.Point {
+	return append([]geom.Point(nil), w.pos...)
+}
+
+// Step advances every node by one slot.
+func (w *Waypoint) Step() {
+	for i := range w.pos {
+		if w.rest[i] > 0 {
+			w.rest[i]--
+			if w.rest[i] == 0 {
+				w.pickWaypoint(i)
+			}
+			continue
+		}
+		delta := w.dest[i].Sub(w.pos[i])
+		dist := w.pos[i].Dist(w.dest[i])
+		step := w.speed[i]
+		if dist <= step {
+			w.pos[i] = w.dest[i]
+			if w.Pause > 0 {
+				w.rest[i] = w.Pause
+			} else {
+				w.pickWaypoint(i)
+			}
+			continue
+		}
+		w.pos[i] = w.pos[i].Add(delta.Scale(step / dist))
+	}
+}
+
+// Driver couples a Waypoint model to an engine: positions advance every
+// slot, and every BeaconEvery slots a rebuilt topology snapshot is
+// swapped into the engine (and reported through OnRefresh, so traffic
+// generators can follow).
+type Driver struct {
+	Model *Waypoint
+	// Radius is the transmission radius for rebuilt snapshots.
+	Radius float64
+	// BeaconEvery is the topology refresh period in slots (≥ 1).
+	BeaconEvery int
+	// OnRefresh, when non-nil, observes each new snapshot.
+	OnRefresh func(tp *topo.Topology)
+}
+
+// Hook returns the sim.Config.SlotHook driving this mobility model.
+func (d *Driver) Hook() func(now sim.Slot, e *sim.Engine) {
+	every := sim.Slot(d.BeaconEvery)
+	if every < 1 {
+		every = 1
+	}
+	return func(now sim.Slot, e *sim.Engine) {
+		d.Model.Step()
+		if now%every == 0 {
+			tp := topo.FromPoints(d.Model.Positions(), d.Radius)
+			e.SetTopology(tp)
+			if d.OnRefresh != nil {
+				d.OnRefresh(tp)
+			}
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package report
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tb := NewTable("Demo", "x", "value")
+	tb.AddRow("a", 1.5)
+	tb.AddRow("bb", 0.123456)
+	tb.Note = "hello"
+	s := tb.String()
+	if !strings.Contains(s, "== Demo ==") {
+		t.Errorf("missing title:\n%s", s)
+	}
+	if !strings.Contains(s, "note: hello") {
+		t.Error("missing note")
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	// title, header, separator, 2 rows, note.
+	if len(lines) != 6 {
+		t.Errorf("lines = %d:\n%s", len(lines), s)
+	}
+	// Columns aligned: header "x" padded to width of "bb".
+	if !strings.HasPrefix(lines[1], "x ") {
+		t.Errorf("header misaligned: %q", lines[1])
+	}
+}
+
+func TestAddRowFormats(t *testing.T) {
+	tb := NewTable("t", "a", "b", "c", "d")
+	tb.AddRow("s", 3.14159, float32(2.5), 42)
+	row := tb.Rows[0]
+	if row[0] != "s" || row[3] != "42" {
+		t.Errorf("row = %v", row)
+	}
+	if !strings.HasPrefix(row[1], "3.14") {
+		t.Errorf("float formatting: %q", row[1])
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	dir := t.TempDir()
+	tb := NewTable("t", "x", "y")
+	tb.AddRow("plain", 1.0)
+	tb.AddRow("with,comma", 2.0)
+	tb.AddRow(`with"quote`, 3.0)
+	path := filepath.Join(dir, "sub", "out.csv")
+	if err := tb.WriteCSV(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(data)
+	want := "x,y\nplain,1\n\"with,comma\",2\n\"with\"\"quote\",3\n"
+	if got != want {
+		t.Errorf("csv = %q, want %q", got, want)
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := NewTable("", "only")
+	s := tb.String()
+	if strings.Contains(s, "==") {
+		t.Error("untitled table must not render a title bar")
+	}
+	if !strings.Contains(s, "only") {
+		t.Error("header missing")
+	}
+}

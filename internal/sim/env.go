@@ -1,0 +1,78 @@
+package sim
+
+import (
+	"math/rand"
+
+	"relmac/internal/frames"
+	"relmac/internal/geom"
+	"relmac/internal/topo"
+)
+
+// EnvOf returns the Env of the given station. It exists for tests that
+// need to drive MAC components outside a full simulation; protocol code
+// receives its Env through the MAC callbacks.
+func (e *Engine) EnvOf(node int) *Env { return &e.envs[node] }
+
+// Env is the window through which a MAC state machine observes and
+// reports to the simulation. One Env exists per station; the engine
+// passes a pointer to it into every MAC callback. Envs must not be
+// retained across simulations.
+type Env struct {
+	engine *Engine
+	node   int
+}
+
+// Node returns the station ID this Env belongs to.
+func (e *Env) Node() int { return e.node }
+
+// Now returns the current slot.
+func (e *Env) Now() Slot { return e.engine.now }
+
+// Timing returns the frame airtimes in use.
+func (e *Env) Timing() frames.Timing { return e.engine.timing }
+
+// Topo returns the network topology (positions, neighbor tables). The
+// paper assumes stations know their neighbors through beacon exchange and,
+// for LAMM, their locations via GPS-carrying beacons; exposing the
+// topology snapshot models exactly that knowledge.
+func (e *Env) Topo() *topo.Topology { return e.engine.topo }
+
+// Neighbors returns the station's neighbor IDs (shared slice; read only).
+func (e *Env) Neighbors() []int { return e.engine.topo.Neighbors(e.node) }
+
+// Pos returns the station's own location.
+func (e *Env) Pos() geom.Point { return e.engine.topo.Pos(e.node) }
+
+// CarrierBusy reports whether the station's physical carrier sense finds
+// the medium busy: some other station's transmission that began in an
+// earlier slot is still in the air within range.
+func (e *Env) CarrierBusy() bool { return e.engine.carrierBusy(e.node) }
+
+// Transmitting reports whether the station's own transmission is still in
+// the air in the current slot.
+func (e *Env) Transmitting() bool {
+	return e.engine.txBusyUntil[e.node] >= e.engine.now
+}
+
+// Rand returns the simulation PRNG. MAC callbacks run sequentially in
+// station order, so sharing the engine PRNG keeps runs reproducible.
+func (e *Env) Rand() *rand.Rand { return e.engine.rng }
+
+// ReportContention notifies the observer that the station is entering a
+// CSMA/CA contention phase for the request — the quantity plotted in
+// Figure 9 and analysed in §6.
+func (e *Env) ReportContention(req *Request) {
+	e.engine.observer.OnContention(req, e.engine.now)
+}
+
+// ReportComplete notifies the observer that the sending MAC considers the
+// request served.
+func (e *Env) ReportComplete(req *Request) {
+	e.engine.observer.OnComplete(req, e.engine.now)
+}
+
+// ReportAbort notifies the observer that the sending MAC abandoned the
+// request (timeout or retry exhaustion).
+func (e *Env) ReportAbort(req *Request) {
+	e.engine.observer.OnAbort(req, e.engine.now)
+}

@@ -1,0 +1,497 @@
+// Package sim implements the slotted wireless-LAN simulator the paper
+// built to evaluate its protocols (§7): time advances in slots, every
+// station runs a MAC state machine, and the radio channel resolves
+// per-receiver reception, collisions, hidden terminals and (optionally)
+// direct-sequence capture.
+//
+// # Channel model
+//
+// A transmission occupies a contiguous range of slots. In every slot the
+// engine collects, for each station, the set of signals arriving from
+// in-range transmitters:
+//
+//   - a station that is itself transmitting hears nothing (half duplex);
+//   - exactly one arriving signal leaves the corresponding frame
+//     decodable for that slot;
+//   - two or more arriving signals collide: every overlapping frame is
+//     corrupted at that receiver unless the capture model lets the
+//     strongest (nearest) one survive.
+//
+// A frame is delivered to a receiver only if every slot of its airtime
+// was decodable there. Carrier sense is physical: a station senses the
+// medium busy when a transmission that started in an *earlier* slot is
+// still in the air within its range. Transmissions starting in the same
+// slot are mutually invisible — the classic collision vulnerability
+// window of CSMA.
+//
+// The engine is deterministic for a fixed seed: stations are ticked in ID
+// order and all randomness flows from a single PRNG.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"relmac/internal/capture"
+	"relmac/internal/frames"
+	"relmac/internal/topo"
+)
+
+// Slot is a point in slotted simulation time.
+type Slot int64
+
+// Kind classifies MAC service requests, mirroring the paper's traffic mix
+// (unicast 0.2 / multicast 0.4 / broadcast 0.4).
+type Kind uint8
+
+// Request kinds.
+const (
+	Unicast Kind = iota
+	Multicast
+	Broadcast
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case Unicast:
+		return "unicast"
+	case Multicast:
+		return "multicast"
+	case Broadcast:
+		return "broadcast"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Request is a MAC service request handed to a station by the upper
+// layer: deliver a data frame to the given set of neighbors before the
+// deadline.
+type Request struct {
+	// ID uniquely identifies the message across the whole simulation.
+	ID int64
+	// Kind is unicast, multicast or broadcast. Broadcast is simply a
+	// multicast to all neighbors (paper §1 treats broadcast as a special
+	// case of multicast).
+	Kind Kind
+	// Src is the requesting station.
+	Src int
+	// Dests are the intended receivers (neighbor station IDs).
+	Dests []int
+	// Arrival is the slot the request reached the MAC layer.
+	Arrival Slot
+	// Deadline is the slot after which the request is considered timed
+	// out by the upper layer (Arrival + Timeout in the paper's setup).
+	Deadline Slot
+}
+
+// Expired reports whether the request has passed its deadline at the
+// given slot.
+func (r *Request) Expired(now Slot) bool { return now > r.Deadline }
+
+// MAC is a per-station protocol state machine. The engine drives it with
+// one Tick per slot and delivers successfully decoded frames.
+type MAC interface {
+	// Tick is invoked once per slot. The MAC may start one transmission
+	// by returning a non-nil frame; the engine derives its airtime from
+	// the frame type. Tick must return nil while the station is already
+	// transmitting (the engine panics otherwise, as that is a protocol
+	// implementation bug).
+	Tick(env *Env) *frames.Frame
+	// Deliver is invoked at the end of the slot in which the station
+	// successfully decoded the frame.
+	Deliver(env *Env, f *frames.Frame)
+	// Submit hands a new service request to the MAC.
+	Submit(env *Env, req *Request)
+}
+
+// Source generates traffic. Arrivals is called once per slot per
+// simulation and returns the requests arriving at that slot.
+type Source interface {
+	Arrivals(now Slot, rng *rand.Rand) []*Request
+}
+
+// Observer receives simulation events for metrics collection. All methods
+// may be called with high frequency; implementations should be cheap.
+// Any method may be a no-op.
+type Observer interface {
+	// OnSubmit fires when a request reaches a MAC.
+	OnSubmit(req *Request, now Slot)
+	// OnContention fires each time a sender begins a CSMA/CA contention
+	// phase for the request.
+	OnContention(req *Request, now Slot)
+	// OnFrameTx fires when a frame transmission starts.
+	OnFrameTx(f *frames.Frame, sender int, now Slot)
+	// OnDataRx fires when an intended receiver decodes the DATA frame of
+	// the given message.
+	OnDataRx(msgID int64, receiver int, now Slot)
+	// OnComplete fires when the sending MAC considers the request
+	// finished (successfully from its point of view).
+	OnComplete(req *Request, now Slot)
+	// OnAbort fires when the sending MAC abandons the request (deadline
+	// passed or retry budget exhausted).
+	OnAbort(req *Request, now Slot)
+}
+
+// NopObserver is an Observer that ignores every event.
+type NopObserver struct{}
+
+// OnSubmit implements Observer.
+func (NopObserver) OnSubmit(*Request, Slot) {}
+
+// OnContention implements Observer.
+func (NopObserver) OnContention(*Request, Slot) {}
+
+// OnFrameTx implements Observer.
+func (NopObserver) OnFrameTx(*frames.Frame, int, Slot) {}
+
+// OnDataRx implements Observer.
+func (NopObserver) OnDataRx(int64, int, Slot) {}
+
+// OnComplete implements Observer.
+func (NopObserver) OnComplete(*Request, Slot) {}
+
+// OnAbort implements Observer.
+func (NopObserver) OnAbort(*Request, Slot) {}
+
+// Tracer records channel-level events; used by protocol tests and by the
+// Figure 2 timeline reproduction. Nil tracers are allowed.
+type Tracer interface {
+	// TxStart fires when a transmission begins (slot start).
+	TxStart(f *frames.Frame, sender int, start, end Slot)
+	// RxOK fires when a receiver decodes a frame (at its final slot).
+	RxOK(f *frames.Frame, receiver int, now Slot)
+	// RxLost fires when a frame ends corrupted (or erased) at an in-range
+	// receiver.
+	RxLost(f *frames.Frame, receiver int, now Slot)
+}
+
+// Config assembles an Engine.
+type Config struct {
+	// Topo is the station layout; required.
+	Topo *topo.Topology
+	// Timing holds frame airtimes; zero value is replaced by
+	// frames.DefaultTiming().
+	Timing frames.Timing
+	// Capture is the collision capture model; nil means capture.None.
+	Capture capture.Model
+	// ErrRate is an independent per-frame, per-receiver erasure
+	// probability modelling transmission errors other than collisions
+	// (the paper's analysis folds these into q). Default 0.
+	ErrRate float64
+	// Seed initialises the engine PRNG.
+	Seed int64
+	// Observer receives protocol-level events; nil means NopObserver.
+	Observer Observer
+	// Tracer receives channel-level events; may be nil.
+	Tracer Tracer
+	// SlotHook, when non-nil, runs at the start of every slot before
+	// traffic arrivals and MAC ticks. Mobility drivers use it to advance
+	// node positions and swap refreshed topologies in.
+	SlotHook func(now Slot, e *Engine)
+}
+
+// transmission is one frame in the air.
+type transmission struct {
+	frame     *frames.Frame
+	sender    int
+	start     Slot
+	end       Slot   // inclusive last slot
+	receivers []int  // in-range stations, sorted
+	corrupt   []bool // parallel to receivers
+}
+
+// Engine is the slotted channel simulator.
+type Engine struct {
+	topo     *topo.Topology
+	timing   frames.Timing
+	capture  capture.Model
+	errRate  float64
+	rng      *rand.Rand
+	observer Observer
+	tracer   Tracer
+	slotHook func(now Slot, e *Engine)
+
+	now    Slot
+	macs   []MAC
+	envs   []Env
+	active []*transmission
+
+	// txBusyUntil[i] is the last slot station i's own transmission
+	// occupies, or a past slot when idle.
+	txBusyUntil []Slot
+
+	// scratch buffers reused every slot.
+	sigTx   [][]int32 // per station: indices into active
+	sigRx   [][]int32 // per station: receiver index within that transmission
+	dists   []float64
+	busyNow []bool // per-station carrier sense, precomputed once per slot
+}
+
+// New builds an Engine from the configuration. MACs must be attached with
+// SetMAC or AttachMACs before Run or Step is called.
+func New(cfg Config) *Engine {
+	if cfg.Topo == nil {
+		panic("sim: Config.Topo is required")
+	}
+	tm := cfg.Timing
+	if tm == (frames.Timing{}) {
+		tm = frames.DefaultTiming()
+	}
+	if err := tm.Validate(); err != nil {
+		panic(err)
+	}
+	cap := cfg.Capture
+	if cap == nil {
+		cap = capture.None{}
+	}
+	obs := cfg.Observer
+	if obs == nil {
+		obs = NopObserver{}
+	}
+	hook := cfg.SlotHook
+	n := cfg.Topo.N()
+	e := &Engine{
+		topo:        cfg.Topo,
+		timing:      tm,
+		capture:     cap,
+		errRate:     cfg.ErrRate,
+		rng:         rand.New(rand.NewSource(cfg.Seed)),
+		observer:    obs,
+		tracer:      cfg.Tracer,
+		slotHook:    hook,
+		macs:        make([]MAC, n),
+		envs:        make([]Env, n),
+		txBusyUntil: make([]Slot, n),
+		sigTx:       make([][]int32, n),
+		sigRx:       make([][]int32, n),
+		busyNow:     make([]bool, n),
+	}
+	for i := 0; i < n; i++ {
+		e.envs[i] = Env{engine: e, node: i}
+		e.txBusyUntil[i] = -1
+	}
+	return e
+}
+
+// SetMAC installs the MAC state machine for station i.
+func (e *Engine) SetMAC(i int, m MAC) { e.macs[i] = m }
+
+// AttachMACs installs a MAC for every station using the factory.
+func (e *Engine) AttachMACs(factory func(node int, env *Env) MAC) {
+	for i := range e.macs {
+		e.macs[i] = factory(i, &e.envs[i])
+	}
+}
+
+// Now returns the current slot.
+func (e *Engine) Now() Slot { return e.now }
+
+// Topo returns the topology being simulated.
+func (e *Engine) Topo() *topo.Topology { return e.topo }
+
+// SetTopology swaps in a refreshed topology snapshot — the mobility
+// model's beacon-epoch update. The station count must not change.
+// Transmissions already in the air keep the receiver sets captured at
+// their start, which mirrors physics: a frame launched toward where a
+// node was is received by whoever was in range when it propagated.
+func (e *Engine) SetTopology(tp *topo.Topology) {
+	if tp.N() != e.topo.N() {
+		panic("sim: SetTopology must preserve the station count")
+	}
+	e.topo = tp
+}
+
+// Timing returns the frame airtimes in use.
+func (e *Engine) Timing() frames.Timing { return e.timing }
+
+// Rand returns the engine PRNG (shared; callbacks execute sequentially).
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Run advances the simulation by the given number of slots, feeding
+// arrivals from src (which may be nil for a closed system).
+func (e *Engine) Run(slots int, src Source) {
+	for k := 0; k < slots; k++ {
+		e.step(src)
+	}
+}
+
+// Step advances the simulation by one slot without external arrivals.
+func (e *Engine) Step() { e.step(nil) }
+
+func (e *Engine) step(src Source) {
+	now := e.now
+
+	// 0. Mobility / environment hook.
+	if e.slotHook != nil {
+		e.slotHook(now, e)
+	}
+
+	// 0.5. Physical carrier sense, computed once for the slot: a station
+	// senses the medium busy when a transmission that began in an earlier
+	// slot is still in the air within range.
+	e.computeBusy()
+
+	// 1. Traffic arrivals.
+	if src != nil {
+		for _, req := range src.Arrivals(now, e.rng) {
+			m := e.macs[req.Src]
+			if m == nil {
+				panic(fmt.Sprintf("sim: no MAC attached to station %d", req.Src))
+			}
+			e.observer.OnSubmit(req, now)
+			m.Submit(&e.envs[req.Src], req)
+		}
+	}
+
+	// 2. Tick every MAC; collect new transmissions. Carrier sense views
+	// only transmissions started in earlier slots, which are exactly the
+	// ones already in e.active.
+	for i, m := range e.macs {
+		if m == nil {
+			continue
+		}
+		f := m.Tick(&e.envs[i])
+		if f == nil {
+			continue
+		}
+		if e.txBusyUntil[i] >= now {
+			panic(fmt.Sprintf("sim: station %d started a frame while already transmitting", i))
+		}
+		e.startTx(i, f)
+	}
+
+	// 3. Per-slot interference resolution.
+	e.resolveSlot()
+
+	// 4. Frame completions.
+	e.completeSlot()
+
+	e.now++
+}
+
+// startTx registers a transmission beginning at the current slot.
+func (e *Engine) startTx(sender int, f *frames.Frame) {
+	// The radio, not the MAC, is the authority on who transmitted.
+	f.Src = frames.Addr(sender)
+	air := e.timing.Airtime(f.Type)
+	nb := e.topo.Neighbors(sender)
+	tx := &transmission{
+		frame:     f,
+		sender:    sender,
+		start:     e.now,
+		end:       e.now + Slot(air) - 1,
+		receivers: nb,
+		corrupt:   make([]bool, len(nb)),
+	}
+	e.active = append(e.active, tx)
+	e.txBusyUntil[sender] = tx.end
+	e.observer.OnFrameTx(f, sender, e.now)
+	if e.tracer != nil {
+		e.tracer.TxStart(f, sender, tx.start, tx.end)
+	}
+}
+
+// resolveSlot marks corruption for all signals overlapping this slot.
+func (e *Engine) resolveSlot() {
+	now := e.now
+	var touchedNodes []int
+	for ti, tx := range e.active {
+		if tx.start > now || tx.end < now {
+			continue
+		}
+		for ri, j := range tx.receivers {
+			if len(e.sigTx[j]) == 0 {
+				touchedNodes = append(touchedNodes, j)
+			}
+			e.sigTx[j] = append(e.sigTx[j], int32(ti))
+			e.sigRx[j] = append(e.sigRx[j], int32(ri))
+		}
+	}
+	for _, j := range touchedNodes {
+		sigs := e.sigTx[j]
+		switch {
+		case e.txBusyUntil[j] >= now:
+			// Half duplex: a transmitting station decodes nothing.
+			for k, ti := range sigs {
+				e.active[ti].corrupt[e.sigRx[j][k]] = true
+			}
+		case len(sigs) == 1:
+			// Clean slot for this frame at this receiver.
+		default:
+			// Collision: ask the capture model which signal survives.
+			e.dists = e.dists[:0]
+			for _, ti := range sigs {
+				e.dists = append(e.dists, e.topo.Dist(j, e.active[ti].sender))
+			}
+			win := e.capture.Resolve(e.dists, e.rng.Float64())
+			for k, ti := range sigs {
+				if k != win {
+					e.active[ti].corrupt[e.sigRx[j][k]] = true
+				}
+			}
+		}
+		e.sigTx[j] = e.sigTx[j][:0]
+		e.sigRx[j] = e.sigRx[j][:0]
+	}
+}
+
+// completeSlot delivers every frame whose last slot is the current one.
+func (e *Engine) completeSlot() {
+	now := e.now
+	kept := e.active[:0]
+	for _, tx := range e.active {
+		if tx.end != now {
+			kept = append(kept, tx)
+			continue
+		}
+		for ri, j := range tx.receivers {
+			lost := tx.corrupt[ri]
+			if !lost && e.errRate > 0 && e.rng.Float64() < e.errRate {
+				lost = true
+			}
+			if lost {
+				if e.tracer != nil {
+					e.tracer.RxLost(tx.frame, j, now)
+				}
+				continue
+			}
+			if e.tracer != nil {
+				e.tracer.RxOK(tx.frame, j, now)
+			}
+			if tx.frame.Type == frames.Data {
+				e.observer.OnDataRx(tx.frame.MsgID, j, now)
+			}
+			if m := e.macs[j]; m != nil {
+				m.Deliver(&e.envs[j], tx.frame)
+			}
+		}
+	}
+	// Zero dropped tail so transmissions can be collected.
+	for i := len(kept); i < len(e.active); i++ {
+		e.active[i] = nil
+	}
+	e.active = kept
+}
+
+// computeBusy fills busyNow for the current slot by marking the
+// neighbors of every ongoing transmitter — O(active × degree) instead of
+// O(stations × active) per slot.
+func (e *Engine) computeBusy() {
+	for i := range e.busyNow {
+		e.busyNow[i] = false
+	}
+	now := e.now
+	for _, tx := range e.active {
+		if tx.start < now && tx.end >= now {
+			for _, j := range e.topo.Neighbors(tx.sender) {
+				e.busyNow[j] = true
+			}
+		}
+	}
+}
+
+// carrierBusy reports whether station i senses energy from another
+// station's transmission that started before the current slot.
+func (e *Engine) carrierBusy(i int) bool { return e.busyNow[i] }

@@ -1,0 +1,280 @@
+// Package topo builds the network topologies the paper simulates: nodes
+// placed in the unit square with a fixed transmission radius (100 nodes,
+// radius 0.2 by default), plus the neighbor tables every station is
+// assumed to have learned through beacon exchange (paper §2). It also
+// provides the degree statistics used as the x axis of Figures 6(a),
+// 9(a) and 10(a).
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"relmac/internal/geom"
+)
+
+// Topology is an immutable snapshot of station positions and the derived
+// neighbor relation. Station IDs are indices 0..N-1.
+type Topology struct {
+	radius    float64
+	pos       []geom.Point
+	neighbors [][]int
+}
+
+// FromPoints builds a topology from explicit positions. The radius must be
+// positive.
+func FromPoints(pts []geom.Point, radius float64) *Topology {
+	if radius <= 0 {
+		panic("topo: radius must be positive")
+	}
+	t := &Topology{
+		radius: radius,
+		pos:    append([]geom.Point(nil), pts...),
+	}
+	t.buildNeighbors()
+	return t
+}
+
+// Uniform places n nodes independently and uniformly at random in the unit
+// square — the paper's topology model ("We randomly placed 100 nodes in a
+// unit square").
+func Uniform(n int, radius float64, rng *rand.Rand) *Topology {
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		pts[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	return FromPoints(pts, radius)
+}
+
+// Grid places nodes on a regular nx × ny lattice filling the unit square.
+// Useful for deterministic protocol tests.
+func Grid(nx, ny int, radius float64) *Topology {
+	pts := make([]geom.Point, 0, nx*ny)
+	for iy := 0; iy < ny; iy++ {
+		for ix := 0; ix < nx; ix++ {
+			x := 0.5
+			if nx > 1 {
+				x = float64(ix) / float64(nx-1)
+			}
+			y := 0.5
+			if ny > 1 {
+				y = float64(iy) / float64(ny-1)
+			}
+			pts = append(pts, geom.Pt(x, y))
+		}
+	}
+	return FromPoints(pts, radius)
+}
+
+// Clustered places nodes in k Gaussian clusters whose centers are uniform
+// in the unit square; spread is the cluster standard deviation. Positions
+// are clamped to the unit square. Models hot-spot deployments.
+func Clustered(n, k int, spread, radius float64, rng *rand.Rand) *Topology {
+	if k < 1 {
+		k = 1
+	}
+	centers := make([]geom.Point, k)
+	for i := range centers {
+		centers[i] = geom.Pt(rng.Float64(), rng.Float64())
+	}
+	pts := make([]geom.Point, n)
+	for i := range pts {
+		c := centers[rng.Intn(k)]
+		pts[i] = geom.Pt(clamp01(c.X+rng.NormFloat64()*spread), clamp01(c.Y+rng.NormFloat64()*spread))
+	}
+	return FromPoints(pts, radius)
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// buildNeighbors computes the neighbor lists with a uniform-grid spatial
+// index so construction stays near-linear in the node count even for the
+// dense sweeps of Figure 6(a).
+func (t *Topology) buildNeighbors() {
+	n := len(t.pos)
+	t.neighbors = make([][]int, n)
+	if n == 0 {
+		return
+	}
+	cell := t.radius
+	cols := int(math.Ceil(1/cell)) + 1
+	bucket := func(p geom.Point) (int, int) {
+		cx := int(p.X / cell)
+		cy := int(p.Y / cell)
+		if cx < 0 {
+			cx = 0
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		return cx, cy
+	}
+	grid := make(map[[2]int][]int, n)
+	for i, p := range t.pos {
+		cx, cy := bucket(p)
+		grid[[2]int{cx, cy}] = append(grid[[2]int{cx, cy}], i)
+	}
+	r2 := t.radius * t.radius
+	for i, p := range t.pos {
+		cx, cy := bucket(p)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				nx, ny := cx+dx, cy+dy
+				if nx < 0 || ny < 0 || nx > cols || ny > cols {
+					continue
+				}
+				for _, j := range grid[[2]int{nx, ny}] {
+					if j != i && p.Dist2(t.pos[j]) <= r2 {
+						t.neighbors[i] = append(t.neighbors[i], j)
+					}
+				}
+			}
+		}
+		sortInts(t.neighbors[i])
+	}
+}
+
+// N returns the number of stations.
+func (t *Topology) N() int { return len(t.pos) }
+
+// Radius returns the common transmission radius.
+func (t *Topology) Radius() float64 { return t.radius }
+
+// Pos returns the position of station i.
+func (t *Topology) Pos(i int) geom.Point { return t.pos[i] }
+
+// Positions returns a copy of all station positions.
+func (t *Topology) Positions() []geom.Point {
+	return append([]geom.Point(nil), t.pos...)
+}
+
+// Neighbors returns the station IDs within transmission range of i, in
+// increasing order. The returned slice is shared; callers must not modify
+// it.
+func (t *Topology) Neighbors(i int) []int { return t.neighbors[i] }
+
+// Degree returns the number of neighbors of station i.
+func (t *Topology) Degree(i int) int { return len(t.neighbors[i]) }
+
+// InRange reports whether stations i and j can hear each other.
+func (t *Topology) InRange(i, j int) bool {
+	return t.pos[i].InRange(t.pos[j], t.radius)
+}
+
+// Dist returns the Euclidean distance between stations i and j.
+func (t *Topology) Dist(i, j int) float64 { return t.pos[i].Dist(t.pos[j]) }
+
+// AvgDegree returns the mean neighbor count — the "average number of
+// neighbors" x axis of Figures 6(a), 9(a) and 10(a).
+func (t *Topology) AvgDegree() float64 {
+	if len(t.pos) == 0 {
+		return 0
+	}
+	total := 0
+	for _, nb := range t.neighbors {
+		total += len(nb)
+	}
+	return float64(total) / float64(len(t.pos))
+}
+
+// MaxDegree returns the largest neighbor count in the topology.
+func (t *Topology) MaxDegree() int {
+	max := 0
+	for _, nb := range t.neighbors {
+		if len(nb) > max {
+			max = len(nb)
+		}
+	}
+	return max
+}
+
+// DegreeHistogram returns counts of stations per degree, indexed by
+// degree.
+func (t *Topology) DegreeHistogram() []int {
+	h := make([]int, t.MaxDegree()+1)
+	for _, nb := range t.neighbors {
+		h[len(nb)]++
+	}
+	return h
+}
+
+// Connected reports whether the neighbor graph is connected (ignoring
+// isolated-node-free requirements: a single node is connected).
+func (t *Topology) Connected() bool {
+	n := len(t.pos)
+	if n <= 1 {
+		return true
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		v := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, w := range t.neighbors[v] {
+			if !seen[w] {
+				seen[w] = true
+				count++
+				stack = append(stack, w)
+			}
+		}
+	}
+	return count == n
+}
+
+// HiddenPairs counts ordered triples (p, q, r) where q hears both p and r
+// but p and r cannot hear each other — the hidden-terminal configurations
+// that motivate RTS/CTS (paper §2.1). Returned as the number of unordered
+// {p, r} pairs hidden with respect to at least one common neighbor.
+func (t *Topology) HiddenPairs() int {
+	n := len(t.pos)
+	count := 0
+	for p := 0; p < n; p++ {
+		for r := p + 1; r < n; r++ {
+			if t.InRange(p, r) {
+				continue
+			}
+			for _, q := range t.neighbors[p] {
+				if t.InRange(q, r) {
+					count++
+					break
+				}
+			}
+		}
+	}
+	return count
+}
+
+// String summarises the topology.
+func (t *Topology) String() string {
+	return fmt.Sprintf("topo{n=%d r=%.3g avgDeg=%.2f connected=%v}",
+		t.N(), t.radius, t.AvgDegree(), t.Connected())
+}
+
+// NeighborPositions returns the positions of the given station IDs;
+// convenience for the geometry procedures of LAMM.
+func (t *Topology) NeighborPositions(ids []int) []geom.Point {
+	out := make([]geom.Point, len(ids))
+	for k, id := range ids {
+		out[k] = t.pos[id]
+	}
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,152 @@
+// Package traffic generates the workload of the paper's simulations
+// (§7, Table 2): every node independently generates a message per slot
+// with probability equal to the message generation rate (default
+// 0.0005/node/slot), and each message is a unicast with probability 0.2,
+// a multicast with probability 0.4 and a broadcast with probability 0.4.
+// Messages carry an upper-layer timeout (default 100 slots).
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+
+	"relmac/internal/sim"
+	"relmac/internal/topo"
+)
+
+// Mix is the request-kind distribution. The three fields must be
+// non-negative and sum to a positive value; they are normalised on use.
+type Mix struct {
+	Unicast, Multicast, Broadcast float64
+}
+
+// DefaultMix returns the paper's 0.2 / 0.4 / 0.4 traffic mix.
+func DefaultMix() Mix { return Mix{Unicast: 0.2, Multicast: 0.4, Broadcast: 0.4} }
+
+// Validate reports an error for a degenerate mix.
+func (m Mix) Validate() error {
+	if m.Unicast < 0 || m.Multicast < 0 || m.Broadcast < 0 {
+		return fmt.Errorf("traffic: negative mix component %+v", m)
+	}
+	if m.Unicast+m.Multicast+m.Broadcast <= 0 {
+		return fmt.Errorf("traffic: mix sums to zero")
+	}
+	return nil
+}
+
+// pick draws a kind from the mix.
+func (m Mix) pick(rng *rand.Rand) sim.Kind {
+	total := m.Unicast + m.Multicast + m.Broadcast
+	u := rng.Float64() * total
+	switch {
+	case u < m.Unicast:
+		return sim.Unicast
+	case u < m.Unicast+m.Multicast:
+		return sim.Multicast
+	default:
+		return sim.Broadcast
+	}
+}
+
+// Generator implements sim.Source with Bernoulli per-node arrivals.
+type Generator struct {
+	// Topo supplies neighbor sets for destination selection.
+	Topo *topo.Topology
+	// Rate is the per-node, per-slot message generation probability.
+	Rate float64
+	// Mix is the kind distribution.
+	Mix Mix
+	// Timeout is the upper-layer deadline in slots after arrival.
+	Timeout int
+
+	nextID int64
+}
+
+// NewGenerator builds a Generator with the paper's defaults (rate
+// 0.0005, mix 0.2/0.4/0.4, timeout 100) on the given topology.
+func NewGenerator(tp *topo.Topology) *Generator {
+	return &Generator{Topo: tp, Rate: 0.0005, Mix: DefaultMix(), Timeout: 100}
+}
+
+// Arrivals implements sim.Source.
+func (g *Generator) Arrivals(now sim.Slot, rng *rand.Rand) []*sim.Request {
+	var out []*sim.Request
+	for node := 0; node < g.Topo.N(); node++ {
+		if rng.Float64() >= g.Rate {
+			continue
+		}
+		req := g.makeRequest(node, now, rng)
+		if req != nil {
+			out = append(out, req)
+		}
+	}
+	return out
+}
+
+// makeRequest builds one request originating at the node, or nil when the
+// node has no neighbors to address.
+func (g *Generator) makeRequest(node int, now sim.Slot, rng *rand.Rand) *sim.Request {
+	nb := g.Topo.Neighbors(node)
+	if len(nb) == 0 {
+		return nil
+	}
+	kind := g.Mix.pick(rng)
+	var dests []int
+	switch kind {
+	case sim.Unicast:
+		dests = []int{nb[rng.Intn(len(nb))]}
+	case sim.Broadcast:
+		dests = append([]int(nil), nb...)
+	default: // multicast: a uniform random non-empty subset size
+		k := 1 + rng.Intn(len(nb))
+		dests = sampleWithoutReplacement(nb, k, rng)
+	}
+	g.nextID++
+	return &sim.Request{
+		ID:       g.nextID,
+		Kind:     kind,
+		Src:      node,
+		Dests:    dests,
+		Arrival:  now,
+		Deadline: now + sim.Slot(g.Timeout),
+	}
+}
+
+// sampleWithoutReplacement draws k distinct elements of src in random
+// order (partial Fisher–Yates on a copy).
+func sampleWithoutReplacement(src []int, k int, rng *rand.Rand) []int {
+	buf := append([]int(nil), src...)
+	if k > len(buf) {
+		k = len(buf)
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(len(buf)-i)
+		buf[i], buf[j] = buf[j], buf[i]
+	}
+	return buf[:k]
+}
+
+// Script is a deterministic sim.Source for tests and examples: requests
+// are released at pre-programmed slots.
+type Script struct {
+	byts map[sim.Slot][]*sim.Request
+}
+
+// NewScript returns an empty Script.
+func NewScript() *Script { return &Script{byts: map[sim.Slot][]*sim.Request{}} }
+
+// At schedules a request for release at the given slot, assigning arrival
+// and returning the request for further inspection.
+func (s *Script) At(t sim.Slot, req *sim.Request) *sim.Request {
+	req.Arrival = t
+	if req.Deadline == 0 {
+		req.Deadline = t + 1_000_000 // effectively no timeout unless set
+	}
+	s.byts[t] = append(s.byts[t], req)
+	return req
+}
+
+// Arrivals implements sim.Source.
+func (s *Script) Arrivals(now sim.Slot, rng *rand.Rand) []*sim.Request {
+	return s.byts[now]
+}

@@ -1,0 +1,165 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"relmac/internal/sim"
+	"relmac/internal/topo"
+)
+
+func TestMixValidate(t *testing.T) {
+	if err := DefaultMix().Validate(); err != nil {
+		t.Errorf("default mix invalid: %v", err)
+	}
+	if (Mix{Unicast: -1, Multicast: 1, Broadcast: 1}).Validate() == nil {
+		t.Error("negative component must fail")
+	}
+	if (Mix{}).Validate() == nil {
+		t.Error("zero mix must fail")
+	}
+}
+
+func TestMixPickFrequencies(t *testing.T) {
+	m := DefaultMix()
+	rng := rand.New(rand.NewSource(1))
+	counts := map[sim.Kind]int{}
+	const trials = 100000
+	for i := 0; i < trials; i++ {
+		counts[m.pick(rng)]++
+	}
+	got := func(k sim.Kind) float64 { return float64(counts[k]) / trials }
+	if math.Abs(got(sim.Unicast)-0.2) > 0.01 ||
+		math.Abs(got(sim.Multicast)-0.4) > 0.01 ||
+		math.Abs(got(sim.Broadcast)-0.4) > 0.01 {
+		t.Errorf("mix frequencies off: %v", counts)
+	}
+}
+
+func TestGeneratorRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tp := topo.Uniform(100, 0.2, rng)
+	g := NewGenerator(tp)
+	g.Rate = 0.01
+	total := 0
+	const slots = 5000
+	for s := sim.Slot(0); s < slots; s++ {
+		total += len(g.Arrivals(s, rng))
+	}
+	// Expectation: 100 nodes × 0.01 × 5000 = 5000 arrivals (minus the few
+	// isolated-node skips). Allow 10%.
+	if total < 4300 || total > 5500 {
+		t.Errorf("arrivals = %d, want ≈5000", total)
+	}
+}
+
+func TestGeneratorRequestShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	tp := topo.Uniform(100, 0.2, rng)
+	g := NewGenerator(tp)
+	g.Rate = 1 // every node, every slot
+	reqs := g.Arrivals(7, rng)
+	if len(reqs) == 0 {
+		t.Fatal("no arrivals at rate 1")
+	}
+	seen := map[int64]bool{}
+	for _, r := range reqs {
+		if seen[r.ID] {
+			t.Fatal("duplicate request ID")
+		}
+		seen[r.ID] = true
+		if r.Arrival != 7 || r.Deadline != 107 {
+			t.Fatalf("arrival/deadline wrong: %+v", r)
+		}
+		nb := tp.Neighbors(r.Src)
+		switch r.Kind {
+		case sim.Unicast:
+			if len(r.Dests) != 1 {
+				t.Fatalf("unicast with %d dests", len(r.Dests))
+			}
+		case sim.Broadcast:
+			if len(r.Dests) != len(nb) {
+				t.Fatalf("broadcast dests %d != degree %d", len(r.Dests), len(nb))
+			}
+		case sim.Multicast:
+			if len(r.Dests) < 1 || len(r.Dests) > len(nb) {
+				t.Fatalf("multicast dests %d out of [1,%d]", len(r.Dests), len(nb))
+			}
+		}
+		// All destinations must be distinct neighbors of the source.
+		isNb := map[int]bool{}
+		for _, j := range nb {
+			isNb[j] = true
+		}
+		dseen := map[int]bool{}
+		for _, d := range r.Dests {
+			if !isNb[d] {
+				t.Fatalf("dest %d is not a neighbor of %d", d, r.Src)
+			}
+			if dseen[d] {
+				t.Fatal("duplicate destination")
+			}
+			dseen[d] = true
+		}
+	}
+}
+
+func TestGeneratorSkipsIsolatedNodes(t *testing.T) {
+	tp := topo.Grid(2, 1, 0.1) // two nodes 1.0 apart: both isolated
+	rng := rand.New(rand.NewSource(4))
+	g := NewGenerator(tp)
+	g.Rate = 1
+	if got := g.Arrivals(0, rng); len(got) != 0 {
+		t.Errorf("isolated nodes generated requests: %v", got)
+	}
+}
+
+func TestSampleWithoutReplacement(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	src := []int{1, 2, 3, 4, 5}
+	got := sampleWithoutReplacement(src, 3, rng)
+	if len(got) != 3 {
+		t.Fatalf("len = %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, v := range got {
+		if seen[v] {
+			t.Fatal("duplicate in sample")
+		}
+		seen[v] = true
+	}
+	if got := sampleWithoutReplacement(src, 99, rng); len(got) != 5 {
+		t.Errorf("oversized k must clamp: %d", len(got))
+	}
+	// Source must be untouched.
+	for i, v := range []int{1, 2, 3, 4, 5} {
+		if src[i] != v {
+			t.Fatal("source slice mutated")
+		}
+	}
+}
+
+func TestScriptSource(t *testing.T) {
+	s := NewScript()
+	r1 := s.At(5, &sim.Request{ID: 1, Src: 0, Dests: []int{1}})
+	s.At(5, &sim.Request{ID: 2, Src: 1, Dests: []int{0}})
+	rng := rand.New(rand.NewSource(6))
+	if len(s.Arrivals(4, rng)) != 0 {
+		t.Error("early arrivals")
+	}
+	got := s.Arrivals(5, rng)
+	if len(got) != 2 || got[0] != r1 {
+		t.Errorf("Arrivals(5) = %v", got)
+	}
+	if r1.Arrival != 5 {
+		t.Error("At must stamp the arrival slot")
+	}
+	if r1.Deadline <= 5 {
+		t.Error("default deadline must be far in the future")
+	}
+	withDeadline := s.At(9, &sim.Request{ID: 3, Deadline: 42})
+	if withDeadline.Deadline != 42 {
+		t.Error("explicit deadline must be preserved")
+	}
+}
