@@ -23,6 +23,7 @@ import (
 	"relmac/internal/mac"
 	"relmac/internal/metrics"
 	"relmac/internal/mobility"
+	"relmac/internal/obs"
 	"relmac/internal/report"
 	"relmac/internal/sim"
 	"relmac/internal/topo"
@@ -285,6 +286,36 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	if _, err := experiments.Run(cfg); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkEngineObserverOverhead quantifies the cost of the
+// observability layer around the engine's observer dispatch:
+//
+//   - disabled: the metrics collector alone (the seed configuration) —
+//     must stay within noise (≤5%) of the seed, since the engine's
+//     single-observer path is untouched by the fan-out machinery;
+//   - multi: collector + event tracer + stat registry through
+//     sim.MultiObserver — the price of full tracing.
+func BenchmarkEngineObserverOverhead(b *testing.B) {
+	run := func(b *testing.B, extra func() []sim.Observer) {
+		for i := 0; i < b.N; i++ {
+			cfg := experiments.Defaults(experiments.BMMM, int64(i))
+			cfg.Slots = 2000
+			if extra != nil {
+				cfg.Observers = extra()
+			}
+			if _, err := experiments.Run(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	b.Run("disabled", func(b *testing.B) { run(b, nil) })
+	b.Run("multi", func(b *testing.B) {
+		reg := obs.NewRegistry()
+		run(b, func() []sim.Observer {
+			return []sim.Observer{obs.NewTracer(0), obs.NewStats(reg, "bench")}
+		})
+	})
 }
 
 // BenchmarkAblationExposedTerminal measures the future-work

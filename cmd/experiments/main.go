@@ -8,11 +8,16 @@
 //	experiments -exp all -runs 100            # full fidelity (slow)
 //	experiments -exp fig6a -runs 10           # one figure, reduced runs
 //	experiments -exp table1,fig5              # analysis only (instant)
+//	experiments -exp density -pprof :6060     # profile a sweep
+//
+// Sweeps print per-point progress/ETA lines on stderr; silence them
+// with -progress=false.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -20,6 +25,8 @@ import (
 
 	"relmac/internal/experiments"
 	"relmac/internal/report"
+
+	_ "net/http/pprof"
 )
 
 func main() {
@@ -29,7 +36,21 @@ func main() {
 	slots := flag.Int("slots", 10000, "simulated slots per run")
 	out := flag.String("out", "results", "directory for CSV output (empty disables)")
 	withPlain := flag.Bool("plain80211", false, "include the stock unreliable 802.11 multicast")
+	progress := flag.Bool("progress", true, "print per-sweep-point progress/ETA lines on stderr")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the duration of the sweeps")
 	flag.Parse()
+
+	if *progress {
+		experiments.ProgressWriter = os.Stderr
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on %s\n", *pprofAddr)
+	}
 
 	o := experiments.Options{Runs: *runs, Slots: *slots}
 	if *withPlain {

@@ -7,11 +7,15 @@
 //
 //	macsim -protocol LAMM -nodes 100 -slots 10000 -runs 10
 //	macsim -protocol all -rate 0.001 -capture sir
+//	macsim -protocol BMMM -trace out.json       # Chrome trace for Perfetto
+//	macsim -protocol BMMM -trace out.jsonl      # JSONL event log
+//	macsim -protocol all -stats -pprof :6060
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"strings"
 
@@ -20,12 +24,14 @@ import (
 	"relmac/internal/experiments"
 	"relmac/internal/mac"
 	"relmac/internal/metrics"
+	"relmac/internal/obs"
 	"relmac/internal/report"
 	"relmac/internal/sim"
 	"relmac/internal/topo"
 	"relmac/internal/traffic"
 
 	mrand "math/rand"
+	_ "net/http/pprof"
 )
 
 func main() {
@@ -40,7 +46,19 @@ func main() {
 	runs := flag.Int("runs", 10, "independent runs to average")
 	seed := flag.Int64("seed", 1, "base random seed")
 	chartSlots := flag.Int("chart", 0, "render an ASCII channel-occupancy chart of the first N slots (single protocol, single run)")
+	traceFile := flag.String("trace", "", "write an event trace of a single run to this file: *.jsonl for JSONL, anything else for Chrome trace-event JSON (open at ui.perfetto.dev)")
+	stats := flag.Bool("stats", false, "print the stat registry (per-protocol counters and histograms) after the run table")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the duration of the run")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "pprof server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on %s\n", *pprofAddr)
+	}
 
 	capModel, ok := capture.ByName(*capName)
 	if !ok {
@@ -74,12 +92,33 @@ func main() {
 		return
 	}
 
+	if *traceFile != "" {
+		// A trace file captures exactly one run of one protocol; mixing
+		// events from several engines would interleave unrelated slots.
+		if len(protos) > 1 {
+			fmt.Fprintf(os.Stderr, "-trace: tracing only the first protocol (%s)\n", protos[0])
+			protos = protos[:1]
+		}
+		if *runs != 1 {
+			fmt.Fprintln(os.Stderr, "-trace: forcing -runs 1")
+			*runs = 1
+		}
+	}
+	var reg *obs.Registry
+	if *stats {
+		reg = obs.NewRegistry()
+	}
+
 	tb := report.NewTable(
 		fmt.Sprintf("macsim: %d nodes, r=%g, %d slots, rate=%g, timeout=%d, capture=%s, %d run(s)",
 			*nodes, *radius, *slots, *rate, *timeout, capModel.Name(), *runs),
 		"protocol", "messages", "delivery rate", "avg contentions", "avg completion", "delivered frac")
 	for _, p := range protos {
 		var agg metrics.SummaryStats
+		var st *obs.Stats
+		if reg != nil {
+			st = obs.NewStats(reg, string(p))
+		}
 		for r := 0; r < *runs; r++ {
 			cfg := experiments.Defaults(p, *seed+int64(r))
 			cfg.Nodes = *nodes
@@ -89,12 +128,29 @@ func main() {
 			cfg.Rate = *rate
 			cfg.Threshold = *threshold
 			cfg.Capture = capModel
+			if st != nil {
+				cfg.Observers = append(cfg.Observers, st)
+			}
+			var tracer *obs.Tracer
+			if *traceFile != "" {
+				tracer = obs.NewTracer(0)
+				tracer.Timing = cfg.MAC.Timing
+				cfg.Observers = append(cfg.Observers, tracer)
+			}
 			res, err := experiments.Run(cfg)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, err)
 				os.Exit(1)
 			}
 			agg.Add(res.Summary)
+			if tracer != nil {
+				if err := writeTrace(*traceFile, tracer); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fmt.Fprintf(os.Stderr, "trace: %d events -> %s (%d dropped)\n",
+					tracer.Len(), *traceFile, tracer.Dropped())
+			}
 		}
 		tb.AddRow(string(p), agg.Messages,
 			fmt.Sprintf("%.3f ±%.3f", agg.SuccessRate.Mean(), agg.SuccessRate.CI95()),
@@ -103,6 +159,31 @@ func main() {
 			fmt.Sprintf("%.3f", agg.MeanDeliveredFraction.Mean()))
 	}
 	tb.Render(os.Stdout)
+	if reg != nil {
+		fmt.Println()
+		if _, err := reg.WriteTo(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeTrace exports the tracer's buffer: JSONL when the file name ends
+// in .jsonl, Chrome trace-event JSON otherwise.
+func writeTrace(path string, tr *obs.Tracer) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = tr.WriteJSONL(f)
+	} else {
+		err = tr.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // renderChart runs one simulation with the channel-occupancy tracer and

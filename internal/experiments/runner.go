@@ -14,8 +14,10 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"relmac/internal/baseline/bmw"
 	"relmac/internal/baseline/dcf"
@@ -96,6 +98,11 @@ type RunConfig struct {
 	ErrRate float64
 	MAC     mac.Config
 	Seed    int64
+	// Observers are attached to the engine alongside the metrics
+	// collector via sim.CombineObservers — the hook for event tracers and
+	// stat registries (internal/obs). Empty keeps the collector-only
+	// fast path.
+	Observers []sim.Observer
 }
 
 // Defaults returns the paper's Table 2 configuration for the given
@@ -135,12 +142,16 @@ func Run(cfg RunConfig) (RunResult, error) {
 	rng := mrand.New(mrand.NewSource(cfg.Seed))
 	tp := topo.Uniform(cfg.Nodes, cfg.Radius, rng)
 	col := metrics.NewCollector()
+	observer := sim.Observer(col)
+	if len(cfg.Observers) > 0 {
+		observer = sim.CombineObservers(append([]sim.Observer{col}, cfg.Observers...)...)
+	}
 	eng := sim.New(sim.Config{
 		Topo:     tp,
 		Capture:  cfg.Capture,
 		ErrRate:  cfg.ErrRate,
 		Seed:     cfg.Seed ^ 0x1e3779b97f4a7c15, // decouple channel RNG from topology
-		Observer: col,
+		Observer: observer,
 	})
 	eng.AttachMACs(factory)
 	gen := traffic.NewGenerator(tp)
@@ -166,6 +177,13 @@ type PointStats struct {
 	Horizon    sim.Slot
 }
 
+// ProgressWriter, when non-nil, receives one line per completed sweep
+// point from Sweep — progress fraction, elapsed time and an ETA — so
+// minutes-long cmd/experiments sweeps are not silent. Set it (typically
+// to os.Stderr) before starting sweeps; Sweep snapshots it at entry, so
+// it must not be mutated while a sweep is in flight.
+var ProgressWriter io.Writer
+
 // Sweep runs `runs` independent simulations for every (point, protocol)
 // pair, in parallel across the machine's cores. mutate configures the
 // run for sweep point i starting from the paper defaults. When
@@ -187,6 +205,13 @@ func Sweep(points int, protocols []Protocol, runs int,
 	if workers < 1 {
 		workers = 1
 	}
+	progress := ProgressWriter
+	start := time.Now()
+	perPoint := len(protocols) * runs
+	total := points * perPoint
+	done := 0
+	pointDone := make([]int, points)
+	pointsDone := 0
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -205,6 +230,20 @@ func Sweep(points int, protocols []Protocol, runs int,
 				cell.Horizon = res.Horizon
 				if keepCollectors {
 					cell.Collectors = append(cell.Collectors, res.Collector)
+				}
+				done++
+				pointDone[tk.point]++
+				if progress != nil && pointDone[tk.point] == perPoint {
+					pointsDone++
+					elapsed := time.Since(start)
+					eta := time.Duration(0)
+					if done > 0 {
+						eta = elapsed * time.Duration(total-done) / time.Duration(done)
+					}
+					fmt.Fprintf(progress,
+						"sweep: point %d/%d done (%d/%d runs, %d%%), elapsed %s, eta %s\n",
+						pointsDone, points, done, total, 100*done/total,
+						elapsed.Round(time.Second), eta.Round(time.Second))
 				}
 				mu.Unlock()
 			}

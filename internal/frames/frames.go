@@ -30,6 +30,21 @@ const (
 	numTypes
 )
 
+// NumTypes is the number of distinct frame types. Size per-type arrays
+// with it ([frames.NumTypes]int64) so a newly added frame type can never
+// silently fall outside a hand-sized counter array.
+const NumTypes = int(numTypes)
+
+// Types returns every frame type in declaration order, for iterating
+// per-type counters.
+func Types() [NumTypes]Type {
+	var ts [NumTypes]Type
+	for i := range ts {
+		ts[i] = Type(i)
+	}
+	return ts
+}
+
 // String implements fmt.Stringer.
 func (t Type) String() string {
 	switch t {

@@ -13,6 +13,7 @@ package metrics
 
 import (
 	"relmac/internal/frames"
+	"relmac/internal/obs"
 	"relmac/internal/sim"
 )
 
@@ -72,7 +73,7 @@ func (r *Record) CompletionTime() sim.Slot { return r.CompletedAt - r.Arrival }
 type Collector struct {
 	records []*Record
 	byID    map[int64]*Record
-	frames  [8]int64 // indexed by frames.Type
+	frames  [frames.NumTypes]int64 // indexed by frames.Type
 }
 
 // NewCollector returns an empty Collector.
@@ -147,6 +148,36 @@ func (c *Collector) FrameCount(t frames.Type) int64 {
 		return c.frames[t]
 	}
 	return 0
+}
+
+// FeedRegistry exports the collector's accumulated state into the stat
+// registry under the given prefix (typically the protocol name):
+// counters <prefix>.messages / .completed / .aborted and
+// <prefix>.frames.<TYPE>, plus <prefix>.contention_phases and
+// <prefix>.completion_slots histograms. Calling it once per finished run
+// aggregates multiple runs into the same instruments.
+func (c *Collector) FeedRegistry(reg *obs.Registry, prefix string) {
+	messages := reg.Counter(prefix + ".messages")
+	completed := reg.Counter(prefix + ".completed")
+	aborted := reg.Counter(prefix + ".aborted")
+	contHist := reg.Histogram(prefix+".contention_phases", obs.DefaultContentionBounds...)
+	compHist := reg.Histogram(prefix+".completion_slots", obs.DefaultCompletionBounds...)
+	for _, r := range c.records {
+		messages.Inc()
+		contHist.Observe(float64(r.Contentions))
+		if r.Completed {
+			completed.Inc()
+			compHist.Observe(float64(r.CompletionTime()))
+		}
+		if r.Aborted {
+			aborted.Inc()
+		}
+	}
+	for _, t := range frames.Types() {
+		if n := c.frames[t]; n > 0 {
+			reg.Counter(prefix + ".frames." + t.String()).Add(n)
+		}
+	}
 }
 
 // Filter selects which records enter a Summary.

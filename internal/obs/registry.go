@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing named count. Safe for concurrent
+// use, so parallel sweep runs may feed one registry.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Histogram is a fixed-bucket histogram: bounds are upper bucket edges
+// (value v lands in the first bucket with v <= bound, or the overflow
+// bucket past the last bound). Safe for concurrent use.
+type Histogram struct {
+	bounds []float64
+	mu     sync.Mutex
+	counts []int64
+	sum    float64
+	n      int64
+}
+
+// newHistogram builds a histogram over the given ascending upper bounds
+// plus an implicit overflow bucket.
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.n++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.n
+}
+
+// Mean returns the mean of all observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.n == 0 {
+		return 0
+	}
+	return h.sum / float64(h.n)
+}
+
+// Buckets returns the upper bounds and the parallel counts; the final
+// count is the overflow bucket (> last bound).
+func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return append([]float64(nil), h.bounds...), append([]int64(nil), h.counts...)
+}
+
+// render prints "n=… mean=… [≤b]=c … [>b]=c", skipping empty buckets so
+// a wide histogram stays one readable line.
+func (h *Histogram) render() string {
+	bounds, counts := h.Buckets()
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.2f", h.Count(), h.Mean())
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if i < len(bounds) {
+			fmt.Fprintf(&b, " [≤%g]=%d", bounds[i], c)
+		} else {
+			fmt.Fprintf(&b, " [>%g]=%d", bounds[len(bounds)-1], c)
+		}
+	}
+	return b.String()
+}
+
+// LinearBuckets returns n upper bounds start, start+width, … — the
+// fixed-bucket shape for completion-time distributions.
+func LinearBuckets(start, width float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + width*float64(i)
+	}
+	return out
+}
+
+// Registry is a namespace of counters and histograms. Lookups create on
+// first use, so instrumentation sites need no registration ceremony.
+// Safe for concurrent use.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	hists    map[string]*Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c := r.counters[name]
+	if c == nil {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Histogram returns the named histogram, creating it with the given
+// upper bounds on first use. Later lookups ignore the bounds argument,
+// so every site naming the same histogram observes into the same
+// buckets.
+func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h := r.hists[name]
+	if h == nil {
+		h = newHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Names returns all registered counter and histogram names, sorted.
+func (r *Registry) Names() (counters, hists []string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for n := range r.counters {
+		counters = append(counters, n)
+	}
+	for n := range r.hists {
+		hists = append(hists, n)
+	}
+	sort.Strings(counters)
+	sort.Strings(hists)
+	return counters, hists
+}
+
+// WriteTo dumps every counter and histogram, sorted by name, one per
+// line. It implements io.WriterTo for convenience.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	counters, hists := r.Names()
+	var total int64
+	for _, name := range counters {
+		n, err := fmt.Fprintf(w, "counter %-40s %d\n", name, r.Counter(name).Value())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	for _, name := range hists {
+		n, err := fmt.Fprintf(w, "hist    %-40s %s\n", name, r.Histogram(name).render())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}

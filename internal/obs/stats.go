@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"relmac/internal/frames"
+	"relmac/internal/sim"
+)
+
+// Default histogram shapes: contention phases are small integers (the
+// paper's Figure 9 tops out near 5), completion times are bounded by the
+// upper-layer timeout (Table 2: 100 slots; Figure 7 sweeps to 300).
+var (
+	// DefaultContentionBounds buckets per-message contention-phase counts.
+	DefaultContentionBounds = []float64{1, 2, 3, 4, 5, 7, 10, 15, 25, 50}
+	// DefaultCompletionBounds buckets arrival→completion times in slots.
+	DefaultCompletionBounds = LinearBuckets(10, 10, 30) // 10..300 by 10
+)
+
+// Stats is a sim.Observer that feeds a Registry as the run unfolds: one
+// counter per lifecycle event, one counter per frame type transmitted,
+// and per-message histograms of contention phases and completion time.
+// The MAC layers feed it indirectly — contention/complete/abort events
+// originate inside the protocol state machines via Env.Report*.
+//
+// Names are "<prefix>.<stat>", so per-protocol instances share one
+// registry without colliding ("BMMM.frames.RTS", "LAMM.completion_slots").
+type Stats struct {
+	submits, contentions, dataRx, completes, aborts *Counter
+	frameTx                                         [frames.NumTypes]*Counter
+	contHist, compHist                              *Histogram
+
+	inflight map[int64]*msgProgress
+}
+
+type msgProgress struct {
+	arrival     sim.Slot
+	contentions int
+}
+
+// NewStats builds a Stats observer registering its instruments under
+// prefix in reg.
+func NewStats(reg *Registry, prefix string) *Stats {
+	s := &Stats{
+		submits:     reg.Counter(prefix + ".submits"),
+		contentions: reg.Counter(prefix + ".contentions"),
+		dataRx:      reg.Counter(prefix + ".data_rx"),
+		completes:   reg.Counter(prefix + ".completes"),
+		aborts:      reg.Counter(prefix + ".aborts"),
+		contHist:    reg.Histogram(prefix+".contention_phases", DefaultContentionBounds...),
+		compHist:    reg.Histogram(prefix+".completion_slots", DefaultCompletionBounds...),
+		inflight:    make(map[int64]*msgProgress),
+	}
+	for _, t := range frames.Types() {
+		s.frameTx[t] = reg.Counter(prefix + ".frames." + t.String())
+	}
+	return s
+}
+
+// OnSubmit implements sim.Observer.
+func (s *Stats) OnSubmit(req *sim.Request, now sim.Slot) {
+	s.submits.Inc()
+	s.inflight[req.ID] = &msgProgress{arrival: req.Arrival}
+}
+
+// OnContention implements sim.Observer.
+func (s *Stats) OnContention(req *sim.Request, now sim.Slot) {
+	s.contentions.Inc()
+	if p := s.inflight[req.ID]; p != nil {
+		p.contentions++
+	}
+}
+
+// OnFrameTx implements sim.Observer.
+func (s *Stats) OnFrameTx(f *frames.Frame, sender int, now sim.Slot) {
+	if int(f.Type) < len(s.frameTx) {
+		s.frameTx[f.Type].Inc()
+	}
+}
+
+// OnDataRx implements sim.Observer.
+func (s *Stats) OnDataRx(msgID int64, receiver int, now sim.Slot) {
+	s.dataRx.Inc()
+}
+
+// OnComplete implements sim.Observer.
+func (s *Stats) OnComplete(req *sim.Request, now sim.Slot) {
+	s.completes.Inc()
+	if p := s.inflight[req.ID]; p != nil {
+		s.contHist.Observe(float64(p.contentions))
+		s.compHist.Observe(float64(now - p.arrival))
+		delete(s.inflight, req.ID)
+	}
+}
+
+// OnAbort implements sim.Observer.
+func (s *Stats) OnAbort(req *sim.Request, now sim.Slot) {
+	s.aborts.Inc()
+	if p := s.inflight[req.ID]; p != nil {
+		s.contHist.Observe(float64(p.contentions))
+		delete(s.inflight, req.ID)
+	}
+}

@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"relmac/internal/frames"
+	"relmac/internal/sim"
+)
+
+// DefaultTracerCapacity bounds a Tracer's ring buffer when NewTracer is
+// given a non-positive capacity: one million events is roughly a full
+// default run (10 000 slots × 100 stations) at moderate load.
+const DefaultTracerCapacity = 1 << 20
+
+// Tracer implements sim.Observer, recording every protocol-level event
+// into a bounded ring buffer. When the buffer fills, the oldest events
+// are overwritten (and counted in Dropped), so tracing a long run keeps
+// the most recent window instead of growing without bound.
+//
+// A Tracer is not safe for concurrent use; attach one per engine run.
+type Tracer struct {
+	// Timing supplies frame airtimes for span durations in the exports;
+	// the zero value is replaced by frames.DefaultTiming. Set it to the
+	// engine's timing when that differs.
+	Timing frames.Timing
+
+	capacity int
+	buf      []Event // grows on demand up to capacity, then wraps
+	next     int     // ring write position
+	wrapped  bool    // buffer has overwritten at least one event
+	dropped  int64
+}
+
+// NewTracer builds a Tracer holding at most capacity events;
+// capacity <= 0 selects DefaultTracerCapacity. The buffer grows on
+// demand, so short runs never pay for the full ring.
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = DefaultTracerCapacity
+	}
+	return &Tracer{capacity: capacity}
+}
+
+func (t *Tracer) record(ev Event) {
+	if len(t.buf) < t.capacity {
+		t.buf = append(t.buf, ev)
+		return
+	}
+	t.buf[t.next] = ev
+	t.next++
+	if t.next == len(t.buf) {
+		t.next = 0
+	}
+	t.wrapped = true
+	t.dropped++
+}
+
+// OnSubmit implements sim.Observer.
+func (t *Tracer) OnSubmit(req *sim.Request, now sim.Slot) {
+	t.record(Event{Kind: EvSubmit, Slot: now, Station: req.Src, MsgID: req.ID})
+}
+
+// OnContention implements sim.Observer.
+func (t *Tracer) OnContention(req *sim.Request, now sim.Slot) {
+	t.record(Event{Kind: EvContention, Slot: now, Station: req.Src, MsgID: req.ID})
+}
+
+// OnFrameTx implements sim.Observer.
+func (t *Tracer) OnFrameTx(f *frames.Frame, sender int, now sim.Slot) {
+	t.record(Event{
+		Kind: EvFrameTx, Slot: now, Station: sender, MsgID: f.MsgID,
+		Frame: f.Type, Src: f.Src, Dst: f.Dst, Dur: t.timing().Airtime(f.Type),
+	})
+}
+
+// OnDataRx implements sim.Observer.
+func (t *Tracer) OnDataRx(msgID int64, receiver int, now sim.Slot) {
+	t.record(Event{Kind: EvDataRx, Slot: now, Station: receiver, MsgID: msgID})
+}
+
+// OnComplete implements sim.Observer.
+func (t *Tracer) OnComplete(req *sim.Request, now sim.Slot) {
+	t.record(Event{Kind: EvComplete, Slot: now, Station: req.Src, MsgID: req.ID})
+}
+
+// OnAbort implements sim.Observer.
+func (t *Tracer) OnAbort(req *sim.Request, now sim.Slot) {
+	t.record(Event{Kind: EvAbort, Slot: now, Station: req.Src, MsgID: req.ID})
+}
+
+func (t *Tracer) timing() frames.Timing {
+	if t.Timing == (frames.Timing{}) {
+		return frames.DefaultTiming()
+	}
+	return t.Timing
+}
+
+// Len returns the number of buffered events.
+func (t *Tracer) Len() int { return len(t.buf) }
+
+// Dropped returns how many events were overwritten after the ring
+// filled.
+func (t *Tracer) Dropped() int64 { return t.dropped }
+
+// Events returns the buffered events oldest-first. The slice is freshly
+// allocated; mutating it does not disturb the tracer.
+func (t *Tracer) Events() []Event {
+	if !t.wrapped {
+		return append([]Event(nil), t.buf...)
+	}
+	out := make([]Event, 0, len(t.buf))
+	out = append(out, t.buf[t.next:]...)
+	return append(out, t.buf[:t.next]...)
+}
+
+// jsonEvent fixes the JSONL field order; struct order is the schema.
+type jsonEvent struct {
+	Slot    int64  `json:"slot"`
+	Event   string `json:"event"`
+	Station int    `json:"station"`
+	Msg     int64  `json:"msg"`
+	Frame   string `json:"frame,omitempty"`
+	Src     string `json:"src,omitempty"`
+	Dst     string `json:"dst,omitempty"`
+	Dur     int    `json:"dur,omitempty"`
+}
+
+// WriteJSONL writes the buffered events oldest-first, one JSON object
+// per line, fields in schema order (slot, event, station, msg, then
+// frame/src/dst/dur for frame-tx events).
+func (t *Tracer) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, ev := range t.Events() {
+		je := jsonEvent{
+			Slot:    int64(ev.Slot),
+			Event:   ev.Kind.String(),
+			Station: ev.Station,
+			Msg:     ev.MsgID,
+		}
+		if ev.Kind == EvFrameTx {
+			je.Frame = ev.Frame.String()
+			je.Src = ev.Src.String()
+			je.Dst = ev.Dst.String()
+			je.Dur = ev.Dur
+		}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace-event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU);
+// Perfetto renders "X" complete events as spans and "i" events as
+// instants on the thread identified by (pid, tid).
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   int64          `json:"ts"`
+	Dur  int64          `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes the buffered events as Chrome trace-event
+// JSON: one process ("relmac"), one thread per station, one span per
+// frame transmission (named after the frame type) and one instant per
+// lifecycle event. Timestamps are in microseconds with one slot mapped
+// to one microsecond, so slot numbers read directly off the Perfetto
+// timeline.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	events := t.Events()
+	stations := map[int]bool{}
+	for _, ev := range events {
+		stations[ev.Station] = true
+	}
+	ids := make([]int, 0, len(stations))
+	for id := range stations {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	out := make([]chromeEvent, 0, len(events)+len(ids)+1)
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: 0,
+		Args: map[string]any{"name": "relmac"},
+	})
+	for _, id := range ids {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: id,
+			Args: map[string]any{"name": fmt.Sprintf("station %d", id)},
+		})
+	}
+	for _, ev := range events {
+		ce := chromeEvent{Ts: int64(ev.Slot), Pid: 0, Tid: ev.Station,
+			Args: map[string]any{"msg": ev.MsgID}}
+		if ev.Kind == EvFrameTx {
+			ce.Name = ev.Frame.String()
+			ce.Ph = "X"
+			ce.Dur = int64(ev.Dur)
+			ce.Args["src"] = ev.Src.String()
+			ce.Args["dst"] = ev.Dst.String()
+		} else {
+			ce.Name = ev.Kind.String()
+			ce.Ph = "i"
+			ce.S = "t" // thread-scoped instant
+		}
+		out = append(out, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: out, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"fmt"
+
+	"relmac/internal/frames"
+)
+
+// MultiObserver fans every simulation event out to a list of observers in
+// registration order, so a metrics collector and an event tracer can both
+// attach to one engine run. Build one with CombineObservers, which
+// collapses the trivial cases so the single-observer (and no-observer)
+// hot paths pay no fan-out cost.
+//
+// If an observer panics, the panic is re-raised annotated with the
+// observer's position and concrete type, so a misbehaving attachment
+// identifies itself instead of being mistaken for an engine bug.
+type MultiObserver []Observer
+
+// CombineObservers builds an Observer dispatching to every non-nil
+// argument in order. It returns NopObserver when none remain and the
+// observer itself when exactly one remains, keeping those paths free of
+// fan-out overhead.
+func CombineObservers(obs ...Observer) Observer {
+	kept := make(MultiObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return NopObserver{}
+	case 1:
+		return kept[0]
+	default:
+		return kept
+	}
+}
+
+// identify is installed as a deferred call around each fan-out dispatch;
+// it re-panics with the offending observer's index and type attached.
+func (m MultiObserver) identify(i int) {
+	if r := recover(); r != nil {
+		panic(fmt.Sprintf("sim: observer %d/%d (%T) panicked: %v", i+1, len(m), m[i], r))
+	}
+}
+
+// OnSubmit implements Observer.
+func (m MultiObserver) OnSubmit(req *Request, now Slot) {
+	for i, o := range m {
+		func() {
+			defer m.identify(i)
+			o.OnSubmit(req, now)
+		}()
+	}
+}
+
+// OnContention implements Observer.
+func (m MultiObserver) OnContention(req *Request, now Slot) {
+	for i, o := range m {
+		func() {
+			defer m.identify(i)
+			o.OnContention(req, now)
+		}()
+	}
+}
+
+// OnFrameTx implements Observer.
+func (m MultiObserver) OnFrameTx(f *frames.Frame, sender int, now Slot) {
+	for i, o := range m {
+		func() {
+			defer m.identify(i)
+			o.OnFrameTx(f, sender, now)
+		}()
+	}
+}
+
+// OnDataRx implements Observer.
+func (m MultiObserver) OnDataRx(msgID int64, receiver int, now Slot) {
+	for i, o := range m {
+		func() {
+			defer m.identify(i)
+			o.OnDataRx(msgID, receiver, now)
+		}()
+	}
+}
+
+// OnComplete implements Observer.
+func (m MultiObserver) OnComplete(req *Request, now Slot) {
+	for i, o := range m {
+		func() {
+			defer m.identify(i)
+			o.OnComplete(req, now)
+		}()
+	}
+}
+
+// OnAbort implements Observer.
+func (m MultiObserver) OnAbort(req *Request, now Slot) {
+	for i, o := range m {
+		func() {
+			defer m.identify(i)
+			o.OnAbort(req, now)
+		}()
+	}
+}

@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"relmac/internal/frames"
+)
+
+// logObserver appends "name:event" entries to a shared log, so tests can
+// assert fan-out ordering across observers.
+type logObserver struct {
+	name string
+	log  *[]string
+}
+
+func (o *logObserver) add(ev string) { *o.log = append(*o.log, o.name+":"+ev) }
+
+func (o *logObserver) OnSubmit(*Request, Slot)            { o.add("submit") }
+func (o *logObserver) OnContention(*Request, Slot)        { o.add("contention") }
+func (o *logObserver) OnFrameTx(*frames.Frame, int, Slot) { o.add("frame-tx") }
+func (o *logObserver) OnDataRx(int64, int, Slot)          { o.add("data-rx") }
+func (o *logObserver) OnComplete(*Request, Slot)          { o.add("complete") }
+func (o *logObserver) OnAbort(*Request, Slot)             { o.add("abort") }
+
+// panicObserver panics on every event.
+type panicObserver struct{ NopObserver }
+
+func (panicObserver) OnSubmit(*Request, Slot) { panic("boom") }
+
+func TestCombineObserversCollapsesTrivialCases(t *testing.T) {
+	if _, ok := CombineObservers().(NopObserver); !ok {
+		t.Errorf("CombineObservers() = %T, want NopObserver", CombineObservers())
+	}
+	if _, ok := CombineObservers(nil, nil).(NopObserver); !ok {
+		t.Errorf("CombineObservers(nil, nil) = %T, want NopObserver", CombineObservers(nil, nil))
+	}
+	var log []string
+	a := &logObserver{name: "a", log: &log}
+	if got := CombineObservers(nil, a, nil); got != Observer(a) {
+		t.Errorf("CombineObservers(nil, a, nil) = %T, want the single observer itself", got)
+	}
+	if m, ok := CombineObservers(a, a).(MultiObserver); !ok || len(m) != 2 {
+		t.Errorf("CombineObservers(a, a) = %T, want MultiObserver of 2", CombineObservers(a, a))
+	}
+}
+
+func TestMultiObserverFansOutInRegistrationOrder(t *testing.T) {
+	var log []string
+	a := &logObserver{name: "a", log: &log}
+	b := &logObserver{name: "b", log: &log}
+	c := &logObserver{name: "c", log: &log}
+	m := CombineObservers(a, b, c)
+
+	req := &Request{ID: 7, Src: 3}
+	f := &frames.Frame{Type: frames.RTS}
+	m.OnSubmit(req, 1)
+	m.OnContention(req, 2)
+	m.OnFrameTx(f, 3, 3)
+	m.OnDataRx(7, 4, 4)
+	m.OnComplete(req, 5)
+	m.OnAbort(req, 6)
+
+	want := []string{
+		"a:submit", "b:submit", "c:submit",
+		"a:contention", "b:contention", "c:contention",
+		"a:frame-tx", "b:frame-tx", "c:frame-tx",
+		"a:data-rx", "b:data-rx", "c:data-rx",
+		"a:complete", "b:complete", "c:complete",
+		"a:abort", "b:abort", "c:abort",
+	}
+	if len(log) != len(want) {
+		t.Fatalf("got %d events, want %d: %v", len(log), len(want), log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Errorf("event %d = %q, want %q", i, log[i], want[i])
+		}
+	}
+}
+
+func TestMultiObserverPanicIdentifiesObserver(t *testing.T) {
+	var log []string
+	a := &logObserver{name: "a", log: &log}
+	m := CombineObservers(a, panicObserver{}, a)
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected the observer panic to propagate")
+		}
+		msg, ok := r.(string)
+		if !ok {
+			t.Fatalf("panic value %T, want string", r)
+		}
+		for _, want := range []string{"observer 2/3", "sim.panicObserver", "boom"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("panic message %q does not mention %q", msg, want)
+			}
+		}
+		// The observer before the panicking one still saw the event.
+		if len(log) != 1 || log[0] != "a:submit" {
+			t.Errorf("log before panic = %v, want [a:submit]", log)
+		}
+	}()
+	m.OnSubmit(&Request{ID: 1}, 0)
+}
