@@ -9,6 +9,8 @@
 //	experiments -exp fig6a -runs 10           # one figure, reduced runs
 //	experiments -exp table1,fig5              # analysis only (instant)
 //	experiments -exp density -pprof :6060     # profile a sweep
+//	experiments -exp fault -runs 20           # delivery/contentions vs PER
+//	experiments -exp density -per 0.05        # any sweep under 5% frame loss
 //
 // Sweeps print per-point progress/ETA lines on stderr; silence them
 // with -progress=false.
@@ -24,6 +26,7 @@ import (
 	"time"
 
 	"relmac/internal/experiments"
+	"relmac/internal/fault"
 	"relmac/internal/report"
 
 	_ "net/http/pprof"
@@ -31,14 +34,33 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"comma-separated experiments: table1,fig2,fig5,fig6a,fig6b,fig7,fig8,fig9a,fig9b,fig10a,fig10b,density,rate,all, plus extensions: mobility,gpserr,overhead")
+		"comma-separated experiments: table1,fig2,fig5,fig6a,fig6b,fig7,fig8,fig9a,fig9b,fig10a,fig10b,density,rate,all, plus extensions: mobility,gpserr,overhead,fault,faultburst")
 	runs := flag.Int("runs", 10, "simulation runs per plotted point (paper: 100)")
 	slots := flag.Int("slots", 10000, "simulated slots per run")
 	out := flag.String("out", "results", "directory for CSV output (empty disables)")
 	withPlain := flag.Bool("plain80211", false, "include the stock unreliable 802.11 multicast")
 	progress := flag.Bool("progress", true, "print per-sweep-point progress/ETA lines on stderr")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the duration of the sweeps")
+	per := flag.Float64("per", 0, "fault: i.i.d. per-link packet error rate applied to every sweep run")
+	geSpec := flag.String("ge", "", "fault: Gilbert–Elliott bursty channel, pGoodBad:pBadGood:perBad[:perGood]")
+	crashSpec := flag.String("crash", "", "fault: node crash schedule, mttf:mttr in slots")
+	locNoise := flag.Float64("locnoise", 0, "fault: stddev of the Gaussian location error LAMM sees")
 	flag.Parse()
+
+	faultCfg := fault.Config{PER: *per, LocNoise: *locNoise}
+	var ferr error
+	if faultCfg.GE, ferr = fault.ParseGE(*geSpec); ferr != nil {
+		fmt.Fprintln(os.Stderr, ferr)
+		os.Exit(2)
+	}
+	if faultCfg.Crash, ferr = fault.ParseCrash(*crashSpec); ferr != nil {
+		fmt.Fprintln(os.Stderr, ferr)
+		os.Exit(2)
+	}
+	if ferr = faultCfg.Validate(); ferr != nil {
+		fmt.Fprintln(os.Stderr, ferr)
+		os.Exit(2)
+	}
 
 	if *progress {
 		experiments.ProgressWriter = os.Stderr
@@ -52,7 +74,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "pprof listening on %s\n", *pprofAddr)
 	}
 
-	o := experiments.Options{Runs: *runs, Slots: *slots}
+	o := experiments.Options{Runs: *runs, Slots: *slots, Fault: faultCfg}
 	if *withPlain {
 		o.Protocols = experiments.AllProtocols
 	}
@@ -148,6 +170,23 @@ func main() {
 		fail(err)
 		fmt.Printf("(overhead sweep: %v)\n", time.Since(start).Round(time.Second))
 		emit(tb, "overhead.csv")
+	}
+	if want["fault"] {
+		start := time.Now()
+		// FaultPER defaults to its own protocol set (BMW/BMMM/LAMM) and
+		// owns the PER axis; other impairments from the flags ride along.
+		deliv, cont, err := experiments.FaultPER(o)
+		fail(err)
+		fmt.Printf("(fault PER sweep: %v)\n", time.Since(start).Round(time.Second))
+		emit(deliv, "fault_delivery.csv")
+		emit(cont, "fault_contentions.csv")
+	}
+	if want["faultburst"] {
+		start := time.Now()
+		tb, err := experiments.FaultBurst(o)
+		fail(err)
+		fmt.Printf("(fault burst sweep: %v)\n", time.Since(start).Round(time.Second))
+		emit(tb, "fault_burst.csv")
 	}
 	if want["gpserr"] {
 		start := time.Now()

@@ -10,6 +10,10 @@
 //	macsim -protocol BMMM -trace out.json       # Chrome trace for Perfetto
 //	macsim -protocol BMMM -trace out.jsonl      # JSONL event log
 //	macsim -protocol all -stats -pprof :6060
+//	macsim -protocol BMMM -per 0.1 -stats       # 10% i.i.d. frame loss
+//	macsim -protocol LAMM -ge 0.01:0.1:0.8      # bursty (Gilbert–Elliott) links
+//	macsim -protocol all -crash 2000:200        # node crash/recover schedules
+//	macsim -protocol LAMM -locnoise 0.05        # GPS error fed to LAMM
 package main
 
 import (
@@ -22,6 +26,7 @@ import (
 	"relmac/internal/capture"
 	"relmac/internal/chart"
 	"relmac/internal/experiments"
+	"relmac/internal/fault"
 	"relmac/internal/mac"
 	"relmac/internal/metrics"
 	"relmac/internal/obs"
@@ -49,7 +54,26 @@ func main() {
 	traceFile := flag.String("trace", "", "write an event trace of a single run to this file: *.jsonl for JSONL, anything else for Chrome trace-event JSON (open at ui.perfetto.dev)")
 	stats := flag.Bool("stats", false, "print the stat registry (per-protocol counters and histograms) after the run table")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060) for the duration of the run")
+	per := flag.Float64("per", 0, "fault: i.i.d. per-link packet error rate in [0,1]")
+	geSpec := flag.String("ge", "", "fault: Gilbert–Elliott bursty channel, pGoodBad:pBadGood:perBad[:perGood]")
+	crashSpec := flag.String("crash", "", "fault: node crash schedule, mttf:mttr in slots")
+	locNoise := flag.Float64("locnoise", 0, "fault: stddev of the Gaussian location error LAMM sees (unit-square units)")
 	flag.Parse()
+
+	faultCfg := fault.Config{PER: *per, LocNoise: *locNoise}
+	var err error
+	if faultCfg.GE, err = fault.ParseGE(*geSpec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if faultCfg.Crash, err = fault.ParseCrash(*crashSpec); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err = faultCfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
 
 	if *pprofAddr != "" {
 		go func() {
@@ -128,6 +152,7 @@ func main() {
 			cfg.Rate = *rate
 			cfg.Threshold = *threshold
 			cfg.Capture = capModel
+			cfg.Fault = faultCfg
 			if st != nil {
 				cfg.Observers = append(cfg.Observers, st)
 			}
@@ -143,6 +168,9 @@ func main() {
 				os.Exit(1)
 			}
 			agg.Add(res.Summary)
+			if reg != nil && res.Fault != nil {
+				res.Fault.FeedRegistry(reg, string(p)+".fault")
+			}
 			if tracer != nil {
 				if err := writeTrace(*traceFile, tracer); err != nil {
 					fmt.Fprintln(os.Stderr, err)

@@ -136,9 +136,11 @@ func (m *Multicaster) SenderTick(st *dcf.Station, env *sim.Env) *frames.Frame {
 }
 
 // advance moves to the next target on the NEIGHBOR list, finishing the
-// message when every target has been served.
+// message when every target has been served. Each served target closes
+// one BMW round; the residual is the tail of the NEIGHBOR list.
 func (m *Multicaster) advance(st *dcf.Station, env *sim.Env) *frames.Frame {
 	m.idx++
+	env.ReportRound(m.req, len(m.targets)-m.idx)
 	if m.idx >= len(m.targets) {
 		m.st = idle
 		st.FinishRequest(env, true)

@@ -111,7 +111,7 @@ func (st *Station) Tick(env *sim.Env) *frames.Frame {
 		return f
 	}
 	// Queue maintenance.
-	st.queue.DropExpired(now, func(r *sim.Request) { env.ReportAbort(r) })
+	st.queue.DropExpired(now, func(r *sim.Request) { env.ReportAbort(r, sim.AbortDeadline) })
 	if st.cur != nil && st.cur.Expired(now) {
 		st.abortCurrent(env)
 	}
@@ -141,14 +141,16 @@ func (st *Station) beginService(env *sim.Env) {
 }
 
 func (st *Station) abortCurrent(env *sim.Env) {
-	env.ReportAbort(st.cur)
+	env.ReportAbort(st.cur, sim.AbortDeadline)
 	st.cur = nil
 	st.backoff.Reset()
 }
 
 // FinishRequest is called when the current request is finished; Multicasters
 // call it for group requests. ok distinguishes sender-perceived success
-// from giving up.
+// from giving up; !ok is reported as retry exhaustion, the only way a
+// protocol state machine gives up on its own (deadline aborts are the
+// station's job).
 func (st *Station) FinishRequest(env *sim.Env, ok bool) {
 	if st.cur == nil {
 		return
@@ -156,7 +158,7 @@ func (st *Station) FinishRequest(env *sim.Env, ok bool) {
 	if ok {
 		env.ReportComplete(st.cur)
 	} else {
-		env.ReportAbort(st.cur)
+		env.ReportAbort(st.cur, sim.AbortRetries)
 	}
 	st.cur = nil
 	st.backoff.Reset()

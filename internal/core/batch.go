@@ -202,7 +202,9 @@ func (b *Batch) tickRaking(st *dcf.Station, env *sim.Env) *frames.Frame {
 			Duration: tm.RAKDuration(n, b.i),
 		}
 	}
-	// Round complete: retire the acknowledged receivers.
+	// Round complete: retire the acknowledged receivers and report the
+	// residual — how many intended receivers the next round (if any)
+	// still has to reach.
 	acked := make([]int, 0, len(b.acked))
 	for _, id := range b.poll {
 		if b.acked[id] {
@@ -210,6 +212,7 @@ func (b *Batch) tickRaking(st *dcf.Station, env *sim.Env) *frames.Frame {
 		}
 	}
 	b.S = b.pick.Update(env, b.S, acked)
+	env.ReportRound(b.req, len(b.S))
 	if len(b.S) == 0 {
 		b.ph = idle
 		st.FinishRequest(env, true)

@@ -58,7 +58,8 @@ func pool(tasks []func()) {
 // runMobile executes one run with random-waypoint mobility at the given
 // speed, refreshing topology every beaconEvery slots.
 func runMobile(cfg RunConfig, speed float64, beaconEvery int) (metrics.Summary, error) {
-	factory, err := Factory(cfg.Protocol, cfg.MAC)
+	inj, fseed := faultPieces(&cfg)
+	factory, err := faultFactory(&cfg, fseed)
 	if err != nil {
 		return metrics.Summary{}, err
 	}
@@ -74,9 +75,14 @@ func runMobile(cfg RunConfig, speed float64, beaconEvery int) (metrics.Summary, 
 		OnRefresh: func(newTp *topo.Topology) { gen.Topo = newTp },
 	}
 	col := metrics.NewCollector()
+	var imp sim.Impairment
+	if inj != nil {
+		imp = inj
+	}
 	eng := sim.New(sim.Config{
 		Topo: tp, Capture: cfg.Capture, ErrRate: cfg.ErrRate,
-		Seed: cfg.Seed ^ 0x1e3779b97f4a7c15, Observer: col,
+		Impairment: imp,
+		Seed:       cfg.Seed ^ 0x1e3779b97f4a7c15, Observer: col,
 		SlotHook: driver.Hook(),
 	})
 	eng.AttachMACs(factory)
@@ -104,6 +110,7 @@ func Mobility(o Options) (*report.Table, error) {
 				tasks = append(tasks, func() {
 					cfg := Defaults(o.Protocols[pr], seedFor(pi, pr, run))
 					cfg.Slots = o.Slots
+					cfg.Fault = o.Fault
 					s, err := runMobile(cfg, MobilitySpeeds[pi], beaconEvery)
 					mu.Lock()
 					if err != nil && firstErr == nil {

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"relmac/internal/analysis"
+	"relmac/internal/fault"
 	"relmac/internal/frames"
 	"relmac/internal/geom"
 	"relmac/internal/mac"
@@ -25,6 +26,10 @@ type Options struct {
 	Slots int
 	// Protocols overrides the protocol set (default PaperProtocols).
 	Protocols []Protocol
+	// Fault applies an impairment configuration (internal/fault) to every
+	// run of every sweep. The zero value keeps the paper's clean-channel
+	// setup.
+	Fault fault.Config
 }
 
 func (o Options) normal() Options {
@@ -66,6 +71,8 @@ func metricCol(cell *PointStats, metric string) float64 {
 		return cell.AvgContentions.Mean()
 	case "completion":
 		return cell.AvgCompletionTime.Mean()
+	case "reached":
+		return cell.MeanDeliveredFraction.Mean()
 	default:
 		panic("unknown metric " + metric)
 	}
@@ -109,6 +116,7 @@ func Density(o Options) (fig6a, fig9a, fig10a *report.Table, err error) {
 	results, err := Sweep(len(DensityPoints), o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
 		cfg.Nodes = DensityPoints[p]
 		cfg.Slots = o.Slots
+		cfg.Fault = o.Fault
 	}, false)
 	if err != nil {
 		return nil, nil, nil, err
@@ -134,6 +142,7 @@ func Rate(o Options) (fig6b, fig9b, fig10b *report.Table, err error) {
 	results, err := Sweep(len(RatePoints), o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
 		cfg.Rate = RatePoints[p]
 		cfg.Slots = o.Slots
+		cfg.Fault = o.Fault
 	}, false)
 	if err != nil {
 		return nil, nil, nil, err
@@ -159,6 +168,7 @@ func Fig7(o Options) (*report.Table, error) {
 	results, err := Sweep(len(TimeoutPoints), o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
 		cfg.Timeout = TimeoutPoints[p]
 		cfg.Slots = o.Slots
+		cfg.Fault = o.Fault
 	}, false)
 	if err != nil {
 		return nil, err
@@ -178,6 +188,7 @@ func Fig8(o Options) (*report.Table, error) {
 	o = o.normal()
 	results, err := Sweep(1, o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
 		cfg.Slots = o.Slots
+		cfg.Fault = o.Fault
 	}, true)
 	if err != nil {
 		return nil, err

@@ -25,6 +25,7 @@ import (
 	"relmac/internal/baseline/tgbcast"
 	"relmac/internal/capture"
 	"relmac/internal/core"
+	"relmac/internal/fault"
 	"relmac/internal/mac"
 	"relmac/internal/metrics"
 	"relmac/internal/sim"
@@ -96,8 +97,15 @@ type RunConfig struct {
 	// ErrRate is the per-frame, per-receiver erasure probability injected
 	// into the channel (0 in the paper's collision-only setup).
 	ErrRate float64
-	MAC     mac.Config
-	Seed    int64
+	// Fault configures the impairment subsystem (internal/fault): i.i.d.
+	// packet error rate, Gilbert–Elliott bursty links, node crashes and
+	// LAMM location noise. The zero value is a true no-op — results are
+	// byte-identical to a faultless run at the same seed. When
+	// Fault.Seed is zero it is derived from Seed, so the seedFor scheme
+	// stays the single source of randomness.
+	Fault fault.Config
+	MAC   mac.Config
+	Seed  int64
 	// Observers are attached to the engine alongside the metrics
 	// collector via sim.CombineObservers — the hook for event tracers and
 	// stat registries (internal/obs). Empty keeps the collector-only
@@ -131,11 +139,45 @@ type RunResult struct {
 	// thresholds (Figure 8).
 	Collector *metrics.Collector
 	Horizon   sim.Slot
+	// Fault is the impairment injector the run used, nil when no channel
+	// or crash impairment was active; callers export its degradation
+	// counters with FeedRegistry.
+	Fault *fault.Injector
+}
+
+// faultSeed derives the impairment seed from the run seed; a distinct
+// mixing constant keeps it decoupled from both the topology RNG
+// (cfg.Seed itself) and the channel RNG (cfg.Seed ^ 0x1e37…).
+func faultSeed(seed int64) int64 { return seed ^ 0x5851f42d4c957f2d }
+
+// faultPieces resolves the configured impairments: the channel/crash
+// injector for the engine (nil when inert) and the resolved fault seed.
+func faultPieces(cfg *RunConfig) (*fault.Injector, int64) {
+	fc := cfg.Fault
+	if fc.Seed == 0 {
+		fc.Seed = faultSeed(cfg.Seed)
+	}
+	if !fc.ChannelActive() {
+		return nil, fc.Seed
+	}
+	return fault.NewInjector(fc), fc.Seed
+}
+
+// faultFactory wraps the protocol factory with the location-noise axis:
+// LAMM's believed coordinates get Gaussian error of LocNoise standard
+// deviation, the stale-GPS stress on Theorems 1–4. Other protocols
+// ignore location entirely and pass through.
+func faultFactory(cfg *RunConfig, fseed int64) (func(node int, env *sim.Env) sim.MAC, error) {
+	if cfg.Fault.LocNoise > 0 && cfg.Protocol == LAMM {
+		return core.NewLAMMNoisy(cfg.MAC, cfg.Fault.LocNoise, fseed+1), nil
+	}
+	return Factory(cfg.Protocol, cfg.MAC)
 }
 
 // Run executes one simulation run to completion.
 func Run(cfg RunConfig) (RunResult, error) {
-	factory, err := Factory(cfg.Protocol, cfg.MAC)
+	inj, fseed := faultPieces(&cfg)
+	factory, err := faultFactory(&cfg, fseed)
 	if err != nil {
 		return RunResult{}, err
 	}
@@ -146,12 +188,17 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if len(cfg.Observers) > 0 {
 		observer = sim.CombineObservers(append([]sim.Observer{col}, cfg.Observers...)...)
 	}
+	var imp sim.Impairment
+	if inj != nil {
+		imp = inj
+	}
 	eng := sim.New(sim.Config{
-		Topo:     tp,
-		Capture:  cfg.Capture,
-		ErrRate:  cfg.ErrRate,
-		Seed:     cfg.Seed ^ 0x1e3779b97f4a7c15, // decouple channel RNG from topology
-		Observer: observer,
+		Topo:       tp,
+		Capture:    cfg.Capture,
+		ErrRate:    cfg.ErrRate,
+		Impairment: imp,
+		Seed:       cfg.Seed ^ 0x1e3779b97f4a7c15, // decouple channel RNG from topology
+		Observer:   observer,
 	})
 	eng.AttachMACs(factory)
 	gen := traffic.NewGenerator(tp)
@@ -165,6 +212,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		AvgDegree: tp.AvgDegree(),
 		Collector: col,
 		Horizon:   horizon,
+		Fault:     inj,
 	}, nil
 }
 
@@ -261,10 +309,15 @@ func Sweep(points int, protocols []Protocol, runs int,
 	return results, firstErr
 }
 
-// seedFor derives a deterministic seed for (point, protocol, run). All
-// protocols share the same topology/traffic seed per (point, run) so
-// they face identical conditions, as the paper's comparison implies.
+// seedFor derives a deterministic seed for a (sweep point, protocol,
+// run) cell. The proto index is deliberately NOT mixed in: the paper's
+// figures compare protocols on the same axes, which is a paired design —
+// every protocol at a given (point, run) must face the identical
+// topology, traffic arrivals, channel randomness and (derived from this
+// seed) fault schedule, so that a curve separation measures the
+// protocol, not the luck of the draw. The parameter is kept in the
+// signature to document at each call site that the pairing is a choice,
+// not an omission; TestSeedForPairsProtocols pins the behaviour.
 func seedFor(point, proto, run int) int64 {
-	_ = proto // same channel+topology seed across protocols
 	return int64(point)*1_000_003 + int64(run)*7919 + 12345
 }

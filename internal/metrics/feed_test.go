@@ -19,19 +19,23 @@ func TestFeedRegistry(t *testing.T) {
 	c.OnFrameTx(&frames.Frame{Type: frames.Data}, 0, 14)
 	c.OnComplete(r1, 50)
 
-	// Message 2: aborted.
+	// Message 2: aborted at its deadline after one raking round.
 	r2 := submit(c, 2, sim.Broadcast, []int{1}, 20, 60)
-	c.OnAbort(r2, 61)
+	c.OnRound(r2, 1, 40)
+	c.OnAbort(r2, sim.AbortDeadline, 61)
 
 	reg := obs.NewRegistry()
 	c.FeedRegistry(reg, "LAMM")
 
 	for name, want := range map[string]int64{
-		"LAMM.messages":   2,
-		"LAMM.completed":  1,
-		"LAMM.aborted":    1,
-		"LAMM.frames.RTS": 1,
-		"LAMM.frames.DATA": 1,
+		"LAMM.messages":         2,
+		"LAMM.completed":        1,
+		"LAMM.aborted":          1,
+		"LAMM.aborted.deadline": 1,
+		"LAMM.aborted.retries":  0,
+		"LAMM.rounds":           1,
+		"LAMM.frames.RTS":       1,
+		"LAMM.frames.DATA":      1,
 	} {
 		if got := reg.Counter(name).Value(); got != want {
 			t.Errorf("%s = %d, want %d", name, got, want)

@@ -36,8 +36,16 @@ type Record struct {
 	// without reaching anyone (paper §7.3).
 	Completed   bool
 	CompletedAt sim.Slot
-	// Aborted is set when the sender gave up (timeout/retry budget).
-	Aborted bool
+	// Aborted is set when the sender gave up; AbortReason records which
+	// budget ran out (deadline vs retry exhaustion) and is meaningful
+	// only when Aborted.
+	Aborted     bool
+	AbortReason sim.AbortReason
+	// Rounds counts completed group-protocol rounds (BMMM/LAMM batch
+	// rounds, BMW per-receiver rounds); Residual is the intended
+	// receivers still unserved after the last completed round.
+	Rounds   int
+	Residual int
 	// Delivered counts distinct intended receivers that decoded the DATA
 	// frame.
 	Delivered int
@@ -132,10 +140,19 @@ func (c *Collector) OnComplete(req *sim.Request, now sim.Slot) {
 	}
 }
 
+// OnRound implements sim.Observer.
+func (c *Collector) OnRound(req *sim.Request, residual int, now sim.Slot) {
+	if r := c.byID[req.ID]; r != nil {
+		r.Rounds++
+		r.Residual = residual
+	}
+}
+
 // OnAbort implements sim.Observer.
-func (c *Collector) OnAbort(req *sim.Request, now sim.Slot) {
+func (c *Collector) OnAbort(req *sim.Request, reason sim.AbortReason, now sim.Slot) {
 	if r := c.byID[req.ID]; r != nil {
 		r.Aborted = true
+		r.AbortReason = reason
 	}
 }
 
@@ -152,25 +169,34 @@ func (c *Collector) FrameCount(t frames.Type) int64 {
 
 // FeedRegistry exports the collector's accumulated state into the stat
 // registry under the given prefix (typically the protocol name):
-// counters <prefix>.messages / .completed / .aborted and
-// <prefix>.frames.<TYPE>, plus <prefix>.contention_phases and
-// <prefix>.completion_slots histograms. Calling it once per finished run
-// aggregates multiple runs into the same instruments.
+// counters <prefix>.messages / .completed / .aborted (with per-reason
+// splits .aborted.deadline / .aborted.retries), .rounds and
+// <prefix>.frames.<TYPE>, plus <prefix>.contention_phases,
+// <prefix>.completion_slots and — over aborted messages — the
+// <prefix>.residual_receivers graceful-degradation histogram (how many
+// intended receivers an abandoned message left unserved). Calling it
+// once per finished run aggregates multiple runs into the same
+// instruments.
 func (c *Collector) FeedRegistry(reg *obs.Registry, prefix string) {
 	messages := reg.Counter(prefix + ".messages")
 	completed := reg.Counter(prefix + ".completed")
 	aborted := reg.Counter(prefix + ".aborted")
+	rounds := reg.Counter(prefix + ".rounds")
 	contHist := reg.Histogram(prefix+".contention_phases", obs.DefaultContentionBounds...)
 	compHist := reg.Histogram(prefix+".completion_slots", obs.DefaultCompletionBounds...)
+	residHist := reg.Histogram(prefix+".residual_receivers", obs.DefaultResidualBounds...)
 	for _, r := range c.records {
 		messages.Inc()
 		contHist.Observe(float64(r.Contentions))
+		rounds.Add(int64(r.Rounds))
 		if r.Completed {
 			completed.Inc()
 			compHist.Observe(float64(r.CompletionTime()))
 		}
 		if r.Aborted {
 			aborted.Inc()
+			reg.Counter(prefix + ".aborted." + r.AbortReason.String()).Inc()
+			residHist.Observe(float64(r.Intended - r.Delivered))
 		}
 	}
 	for _, t := range frames.Types() {

@@ -163,11 +163,19 @@ func TestFrameCounting(t *testing.T) {
 func TestAbortRecorded(t *testing.T) {
 	c := NewCollector()
 	req := submit(c, 1, sim.Multicast, []int{1}, 0, 100)
-	c.OnAbort(req, 101)
-	if !c.Records()[0].Aborted {
+	c.OnRound(req, 1, 50)
+	c.OnAbort(req, sim.AbortRetries, 101)
+	rec := c.Records()[0]
+	if !rec.Aborted {
 		t.Error("abort not recorded")
 	}
-	if c.Records()[0].Successful(0.5) {
+	if rec.AbortReason != sim.AbortRetries {
+		t.Errorf("abort reason = %v, want retries", rec.AbortReason)
+	}
+	if rec.Rounds != 1 || rec.Residual != 1 {
+		t.Errorf("rounds=%d residual=%d, want 1/1", rec.Rounds, rec.Residual)
+	}
+	if rec.Successful(0.5) {
 		t.Error("aborted message cannot be successful")
 	}
 }
@@ -178,7 +186,8 @@ func TestUnknownIDsIgnored(t *testing.T) {
 	c.OnDataRx(99, 1, 5)
 	c.OnContention(&sim.Request{ID: 98}, 5)
 	c.OnComplete(&sim.Request{ID: 97}, 5)
-	c.OnAbort(&sim.Request{ID: 96}, 5)
+	c.OnAbort(&sim.Request{ID: 96}, sim.AbortDeadline, 5)
+	c.OnRound(&sim.Request{ID: 95}, 2, 5)
 	if len(c.Records()) != 0 {
 		t.Error("phantom records created")
 	}

@@ -38,6 +38,7 @@ const (
 	EvContention
 	EvFrameTx
 	EvDataRx
+	EvRound
 	EvComplete
 	EvAbort
 	numEventKinds
@@ -58,6 +59,8 @@ func (k EventKind) String() string {
 		return "frame-tx"
 	case EvDataRx:
 		return "data-rx"
+	case EvRound:
+		return "round"
 	case EvComplete:
 		return "complete"
 	case EvAbort:
@@ -68,16 +71,20 @@ func (k EventKind) String() string {
 }
 
 // Event is one structured trace record. Station is the acting station:
-// the sender for submit/contention/frame-tx/complete/abort, the receiver
-// for data-rx. Frame, Src, Dst and Dur are meaningful only for
-// EvFrameTx (Dur is the frame's airtime in slots).
+// the sender for submit/contention/frame-tx/round/complete/abort, the
+// receiver for data-rx. Frame, Src, Dst and Dur are meaningful only for
+// EvFrameTx (Dur is the frame's airtime in slots); Residual only for
+// EvRound (intended receivers still unserved after the round); Reason
+// only for EvAbort.
 type Event struct {
-	Kind    EventKind
-	Slot    sim.Slot
-	Station int
-	MsgID   int64
-	Frame   frames.Type
-	Src     frames.Addr
-	Dst     frames.Addr
-	Dur     int
+	Kind     EventKind
+	Slot     sim.Slot
+	Station  int
+	MsgID    int64
+	Frame    frames.Type
+	Src      frames.Addr
+	Dst      frames.Addr
+	Dur      int
+	Residual int
+	Reason   sim.AbortReason
 }

@@ -106,7 +106,8 @@ func TestStatsObserverFeedsRegistry(t *testing.T) {
 
 	req2 := &sim.Request{ID: 2, Src: 1, Arrival: 20, Deadline: 120}
 	st.OnSubmit(req2, 20)
-	st.OnAbort(req2, 120)
+	st.OnRound(req2, 3, 60)
+	st.OnAbort(req2, sim.AbortDeadline, 120)
 
 	check := func(name string, want int64) {
 		t.Helper()
@@ -121,6 +122,14 @@ func TestStatsObserverFeedsRegistry(t *testing.T) {
 	check("BMMM.data_rx", 1)
 	check("BMMM.completes", 1)
 	check("BMMM.aborts", 1)
+	check("BMMM.aborts.deadline", 1)
+	check("BMMM.aborts.retries", 0)
+	check("BMMM.rounds", 1)
+
+	resid := reg.Histogram("BMMM.round_residual")
+	if resid.Count() != 1 || resid.Mean() != 3 {
+		t.Errorf("residual hist: n=%d mean=%g, want n=1 mean=3", resid.Count(), resid.Mean())
+	}
 
 	comp := reg.Histogram("BMMM.completion_slots")
 	if comp.Count() != 1 || comp.Mean() != 30 {

@@ -13,6 +13,10 @@ var (
 	DefaultContentionBounds = []float64{1, 2, 3, 4, 5, 7, 10, 15, 25, 50}
 	// DefaultCompletionBounds buckets arrival→completion times in slots.
 	DefaultCompletionBounds = LinearBuckets(10, 10, 30) // 10..300 by 10
+	// DefaultResidualBounds buckets per-round (and per-abort) residual
+	// receiver counts; a multicast group is at most the node degree, so
+	// the shape follows the degree scale of the default topologies.
+	DefaultResidualBounds = []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24}
 )
 
 // Stats is a sim.Observer that feeds a Registry as the run unfolds: one
@@ -25,8 +29,10 @@ var (
 // registry without colliding ("BMMM.frames.RTS", "LAMM.completion_slots").
 type Stats struct {
 	submits, contentions, dataRx, completes, aborts *Counter
+	abortReasons                                    [sim.NumAbortReasons]*Counter
+	rounds                                          *Counter
 	frameTx                                         [frames.NumTypes]*Counter
-	contHist, compHist                              *Histogram
+	contHist, compHist, residHist                   *Histogram
 
 	inflight map[int64]*msgProgress
 }
@@ -45,9 +51,14 @@ func NewStats(reg *Registry, prefix string) *Stats {
 		dataRx:      reg.Counter(prefix + ".data_rx"),
 		completes:   reg.Counter(prefix + ".completes"),
 		aborts:      reg.Counter(prefix + ".aborts"),
+		rounds:      reg.Counter(prefix + ".rounds"),
 		contHist:    reg.Histogram(prefix+".contention_phases", DefaultContentionBounds...),
 		compHist:    reg.Histogram(prefix+".completion_slots", DefaultCompletionBounds...),
+		residHist:   reg.Histogram(prefix+".round_residual", DefaultResidualBounds...),
 		inflight:    make(map[int64]*msgProgress),
+	}
+	for r := range s.abortReasons {
+		s.abortReasons[r] = reg.Counter(prefix + ".aborts." + sim.AbortReason(r).String())
 	}
 	for _, t := range frames.Types() {
 		s.frameTx[t] = reg.Counter(prefix + ".frames." + t.String())
@@ -91,9 +102,18 @@ func (s *Stats) OnComplete(req *sim.Request, now sim.Slot) {
 	}
 }
 
+// OnRound implements sim.Observer.
+func (s *Stats) OnRound(req *sim.Request, residual int, now sim.Slot) {
+	s.rounds.Inc()
+	s.residHist.Observe(float64(residual))
+}
+
 // OnAbort implements sim.Observer.
-func (s *Stats) OnAbort(req *sim.Request, now sim.Slot) {
+func (s *Stats) OnAbort(req *sim.Request, reason sim.AbortReason, now sim.Slot) {
 	s.aborts.Inc()
+	if int(reason) < len(s.abortReasons) {
+		s.abortReasons[reason].Inc()
+	}
 	if p := s.inflight[req.ID]; p != nil {
 		s.contHist.Observe(float64(p.contentions))
 		delete(s.inflight, req.ID)

@@ -87,9 +87,14 @@ func (t *Tracer) OnComplete(req *sim.Request, now sim.Slot) {
 	t.record(Event{Kind: EvComplete, Slot: now, Station: req.Src, MsgID: req.ID})
 }
 
+// OnRound implements sim.Observer.
+func (t *Tracer) OnRound(req *sim.Request, residual int, now sim.Slot) {
+	t.record(Event{Kind: EvRound, Slot: now, Station: req.Src, MsgID: req.ID, Residual: residual})
+}
+
 // OnAbort implements sim.Observer.
-func (t *Tracer) OnAbort(req *sim.Request, now sim.Slot) {
-	t.record(Event{Kind: EvAbort, Slot: now, Station: req.Src, MsgID: req.ID})
+func (t *Tracer) OnAbort(req *sim.Request, reason sim.AbortReason, now sim.Slot) {
+	t.record(Event{Kind: EvAbort, Slot: now, Station: req.Src, MsgID: req.ID, Reason: reason})
 }
 
 func (t *Tracer) timing() frames.Timing {
@@ -119,19 +124,22 @@ func (t *Tracer) Events() []Event {
 
 // jsonEvent fixes the JSONL field order; struct order is the schema.
 type jsonEvent struct {
-	Slot    int64  `json:"slot"`
-	Event   string `json:"event"`
-	Station int    `json:"station"`
-	Msg     int64  `json:"msg"`
-	Frame   string `json:"frame,omitempty"`
-	Src     string `json:"src,omitempty"`
-	Dst     string `json:"dst,omitempty"`
-	Dur     int    `json:"dur,omitempty"`
+	Slot     int64  `json:"slot"`
+	Event    string `json:"event"`
+	Station  int    `json:"station"`
+	Msg      int64  `json:"msg"`
+	Frame    string `json:"frame,omitempty"`
+	Src      string `json:"src,omitempty"`
+	Dst      string `json:"dst,omitempty"`
+	Dur      int    `json:"dur,omitempty"`
+	Residual *int   `json:"residual,omitempty"`
+	Reason   string `json:"reason,omitempty"`
 }
 
 // WriteJSONL writes the buffered events oldest-first, one JSON object
 // per line, fields in schema order (slot, event, station, msg, then
-// frame/src/dst/dur for frame-tx events).
+// frame/src/dst/dur for frame-tx events, residual for round events and
+// reason for abort events).
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -142,11 +150,17 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 			Station: ev.Station,
 			Msg:     ev.MsgID,
 		}
-		if ev.Kind == EvFrameTx {
+		switch ev.Kind {
+		case EvFrameTx:
 			je.Frame = ev.Frame.String()
 			je.Src = ev.Src.String()
 			je.Dst = ev.Dst.String()
 			je.Dur = ev.Dur
+		case EvRound:
+			residual := ev.Residual
+			je.Residual = &residual // pointer so residual 0 still prints
+		case EvAbort:
+			je.Reason = ev.Reason.String()
 		}
 		if err := enc.Encode(je); err != nil {
 			return err
@@ -217,6 +231,12 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			ce.Name = ev.Kind.String()
 			ce.Ph = "i"
 			ce.S = "t" // thread-scoped instant
+			switch ev.Kind {
+			case EvRound:
+				ce.Args["residual"] = ev.Residual
+			case EvAbort:
+				ce.Args["reason"] = ev.Reason.String()
+			}
 		}
 		out = append(out, ce)
 	}

@@ -72,7 +72,17 @@ func (e *Env) ReportComplete(req *Request) {
 }
 
 // ReportAbort notifies the observer that the sending MAC abandoned the
-// request (timeout or retry exhaustion).
-func (e *Env) ReportAbort(req *Request) {
-	e.engine.observer.OnAbort(req, e.engine.now)
+// request, with the typed reason (deadline passed or retry budget
+// exhausted).
+func (e *Env) ReportAbort(req *Request, reason AbortReason) {
+	e.engine.observer.OnAbort(req, reason, e.engine.now)
+}
+
+// ReportRound notifies the observer that a multi-round group protocol
+// finished one round with residual intended receivers still unserved —
+// the per-round graceful-degradation signal: under an impaired channel
+// the residual shrinks more slowly (or not at all) and the round count
+// grows.
+func (e *Env) ReportRound(req *Request, residual int) {
+	e.engine.observer.OnRound(req, residual, e.engine.now)
 }

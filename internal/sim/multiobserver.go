@@ -86,6 +86,16 @@ func (m MultiObserver) OnDataRx(msgID int64, receiver int, now Slot) {
 	}
 }
 
+// OnRound implements Observer.
+func (m MultiObserver) OnRound(req *Request, residual int, now Slot) {
+	for i, o := range m {
+		func() {
+			defer m.identify(i)
+			o.OnRound(req, residual, now)
+		}()
+	}
+}
+
 // OnComplete implements Observer.
 func (m MultiObserver) OnComplete(req *Request, now Slot) {
 	for i, o := range m {
@@ -97,11 +107,11 @@ func (m MultiObserver) OnComplete(req *Request, now Slot) {
 }
 
 // OnAbort implements Observer.
-func (m MultiObserver) OnAbort(req *Request, now Slot) {
+func (m MultiObserver) OnAbort(req *Request, reason AbortReason, now Slot) {
 	for i, o := range m {
 		func() {
 			defer m.identify(i)
-			o.OnAbort(req, now)
+			o.OnAbort(req, reason, now)
 		}()
 	}
 }

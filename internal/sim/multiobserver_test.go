@@ -16,12 +16,13 @@ type logObserver struct {
 
 func (o *logObserver) add(ev string) { *o.log = append(*o.log, o.name+":"+ev) }
 
-func (o *logObserver) OnSubmit(*Request, Slot)            { o.add("submit") }
-func (o *logObserver) OnContention(*Request, Slot)        { o.add("contention") }
-func (o *logObserver) OnFrameTx(*frames.Frame, int, Slot) { o.add("frame-tx") }
-func (o *logObserver) OnDataRx(int64, int, Slot)          { o.add("data-rx") }
-func (o *logObserver) OnComplete(*Request, Slot)          { o.add("complete") }
-func (o *logObserver) OnAbort(*Request, Slot)             { o.add("abort") }
+func (o *logObserver) OnSubmit(*Request, Slot)             { o.add("submit") }
+func (o *logObserver) OnContention(*Request, Slot)         { o.add("contention") }
+func (o *logObserver) OnFrameTx(*frames.Frame, int, Slot)  { o.add("frame-tx") }
+func (o *logObserver) OnDataRx(int64, int, Slot)           { o.add("data-rx") }
+func (o *logObserver) OnRound(*Request, int, Slot)         { o.add("round") }
+func (o *logObserver) OnComplete(*Request, Slot)           { o.add("complete") }
+func (o *logObserver) OnAbort(*Request, AbortReason, Slot) { o.add("abort") }
 
 // panicObserver panics on every event.
 type panicObserver struct{ NopObserver }
@@ -58,14 +59,16 @@ func TestMultiObserverFansOutInRegistrationOrder(t *testing.T) {
 	m.OnContention(req, 2)
 	m.OnFrameTx(f, 3, 3)
 	m.OnDataRx(7, 4, 4)
-	m.OnComplete(req, 5)
-	m.OnAbort(req, 6)
+	m.OnRound(req, 2, 5)
+	m.OnComplete(req, 6)
+	m.OnAbort(req, AbortDeadline, 7)
 
 	want := []string{
 		"a:submit", "b:submit", "c:submit",
 		"a:contention", "b:contention", "c:contention",
 		"a:frame-tx", "b:frame-tx", "c:frame-tx",
 		"a:data-rx", "b:data-rx", "c:data-rx",
+		"a:round", "b:round", "c:round",
 		"a:complete", "b:complete", "c:complete",
 		"a:abort", "b:abort", "c:abort",
 	}

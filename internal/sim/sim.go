@@ -90,6 +90,40 @@ type Request struct {
 // given slot.
 func (r *Request) Expired(now Slot) bool { return now > r.Deadline }
 
+// AbortReason classifies why a sending MAC abandoned a request — the
+// typed half of the graceful-degradation accounting: under an impaired
+// channel the interesting question is not just how often a protocol
+// gives up but which budget it exhausted first.
+type AbortReason uint8
+
+// Abort reasons.
+const (
+	// AbortDeadline: the request outlived its upper-layer timeout, either
+	// waiting in the queue or mid-service.
+	AbortDeadline AbortReason = iota
+	// AbortRetries: the protocol exhausted its retry budget
+	// (mac.Config.RetryLimit contention phases) before serving every
+	// receiver.
+	AbortRetries
+	numAbortReasons
+)
+
+// NumAbortReasons is the number of distinct abort reasons, for
+// reason-indexed counter arrays.
+const NumAbortReasons = int(numAbortReasons)
+
+// String implements fmt.Stringer.
+func (r AbortReason) String() string {
+	switch r {
+	case AbortDeadline:
+		return "deadline"
+	case AbortRetries:
+		return "retries"
+	default:
+		return fmt.Sprintf("AbortReason(%d)", uint8(r))
+	}
+}
+
 // MAC is a per-station protocol state machine. The engine drives it with
 // one Tick per slot and delivers successfully decoded frames.
 type MAC interface {
@@ -126,12 +160,17 @@ type Observer interface {
 	// OnDataRx fires when an intended receiver decodes the DATA frame of
 	// the given message.
 	OnDataRx(msgID int64, receiver int, now Slot)
+	// OnRound fires when a multi-round group protocol (BMMM/LAMM batch
+	// rounds, BMW per-receiver rounds) finishes one round, with the
+	// number of intended receivers still unserved afterwards — the
+	// residual the next round must absorb.
+	OnRound(req *Request, residual int, now Slot)
 	// OnComplete fires when the sending MAC considers the request
 	// finished (successfully from its point of view).
 	OnComplete(req *Request, now Slot)
-	// OnAbort fires when the sending MAC abandons the request (deadline
-	// passed or retry budget exhausted).
-	OnAbort(req *Request, now Slot)
+	// OnAbort fires when the sending MAC abandons the request, with the
+	// typed reason (deadline passed or retry budget exhausted).
+	OnAbort(req *Request, reason AbortReason, now Slot)
 }
 
 // NopObserver is an Observer that ignores every event.
@@ -149,11 +188,14 @@ func (NopObserver) OnFrameTx(*frames.Frame, int, Slot) {}
 // OnDataRx implements Observer.
 func (NopObserver) OnDataRx(int64, int, Slot) {}
 
+// OnRound implements Observer.
+func (NopObserver) OnRound(*Request, int, Slot) {}
+
 // OnComplete implements Observer.
 func (NopObserver) OnComplete(*Request, Slot) {}
 
 // OnAbort implements Observer.
-func (NopObserver) OnAbort(*Request, Slot) {}
+func (NopObserver) OnAbort(*Request, AbortReason, Slot) {}
 
 // Tracer records channel-level events; used by protocol tests and by the
 // Figure 2 timeline reproduction. Nil tracers are allowed.
@@ -165,6 +207,32 @@ type Tracer interface {
 	// RxLost fires when a frame ends corrupted (or erased) at an in-range
 	// receiver.
 	RxLost(f *frames.Frame, receiver int, now Slot)
+}
+
+// Impairment is the pluggable fault model hook (internal/fault): channel
+// error processes and node failures beyond the collision-driven loss the
+// capture models govern. The engine consults it at two points per slot —
+// crashed stations are skipped before their MAC ticks, and completed
+// frames are erased per receiver before delivery. Implementations must
+// be deterministic from their own seed and must not touch the engine
+// PRNG, so a nil (or inert) impairment leaves runs byte-identical to an
+// unimpaired simulation.
+type Impairment interface {
+	// Down reports whether the station is crashed at the given slot. A
+	// down station neither transmits (its MAC is not ticked, so pending
+	// CTS/ACK responses stay unsent) nor decodes arriving frames.
+	Down(station int, now Slot) bool
+	// Erase reports whether the frame, completing at slot now, is erased
+	// at the given receiver by a channel error on the sender→receiver
+	// link. It is consulted only for frames that survived collision
+	// resolution.
+	Erase(f *frames.Frame, sender, receiver int, now Slot) bool
+}
+
+// crashNoter is implemented by impairments that want receptions lost to
+// a crashed receiver attributed to the crash axis (fault.Injector does).
+type crashNoter interface {
+	NoteCrashDrop()
 }
 
 // Config assembles an Engine.
@@ -182,6 +250,9 @@ type Config struct {
 	ErrRate float64
 	// Seed initialises the engine PRNG.
 	Seed int64
+	// Impairment, when non-nil, injects channel errors and node crashes
+	// (internal/fault). Nil keeps the unimpaired fast path.
+	Impairment Impairment
 	// Observer receives protocol-level events; nil means NopObserver.
 	Observer Observer
 	// Tracer receives channel-level events; may be nil.
@@ -208,6 +279,7 @@ type Engine struct {
 	timing   frames.Timing
 	capture  capture.Model
 	errRate  float64
+	imp      Impairment
 	rng      *rand.Rand
 	observer Observer
 	tracer   Tracer
@@ -257,6 +329,7 @@ func New(cfg Config) *Engine {
 		timing:      tm,
 		capture:     cap,
 		errRate:     cfg.ErrRate,
+		imp:         cfg.Impairment,
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		observer:    obs,
 		tracer:      cfg.Tracer,
@@ -350,6 +423,12 @@ func (e *Engine) step(src Source) {
 	// ones already in e.active.
 	for i, m := range e.macs {
 		if m == nil {
+			continue
+		}
+		// A crashed station is silent: no frame, no CTS/ACK response, no
+		// backoff countdown. Its queued requests keep aging toward their
+		// deadlines and its MAC state resumes intact on recovery.
+		if e.imp != nil && e.imp.Down(i, now) {
 			continue
 		}
 		f := m.Tick(&e.envs[i])
@@ -448,6 +527,16 @@ func (e *Engine) completeSlot() {
 		}
 		for ri, j := range tx.receivers {
 			lost := tx.corrupt[ri]
+			if !lost && e.imp != nil {
+				if e.imp.Down(j, now) {
+					lost = true
+					if n, ok := e.imp.(crashNoter); ok {
+						n.NoteCrashDrop()
+					}
+				} else if e.imp.Erase(tx.frame, tx.sender, j, now) {
+					lost = true
+				}
+			}
 			if !lost && e.errRate > 0 && e.rng.Float64() < e.errRate {
 				lost = true
 			}
