@@ -63,7 +63,7 @@ func main() {
 	}
 
 	if *progress {
-		experiments.ProgressWriter = os.Stderr
+		experiments.Progress.W = os.Stderr
 	}
 	if *pprofAddr != "" {
 		go func() {

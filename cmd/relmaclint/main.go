@@ -1,0 +1,84 @@
+// Command relmaclint runs the project's static-analysis suite
+// (internal/lint) over the module: determinism, seedflow, floateq,
+// frameswitch and obswiring — the mechanically enforced invariants behind
+// the simulator's bit-reproducibility. See the package documentation of
+// internal/lint for the rules and the //relmac:allow directive syntax.
+//
+// Usage:
+//
+//	go run ./cmd/relmaclint [-json] [-checks determinism,seedflow] [patterns...]
+//
+// Patterns default to ./... and follow the go tool's convention
+// (testdata, vendor and hidden directories are skipped). The exit status
+// is 1 when findings remain after suppression, 2 on a load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"relmac/internal/lint"
+)
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings and suppressions as JSON (for CI annotation)")
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default all: "+strings.Join(lint.CheckNames(), ",")+")")
+	dir := flag.String("C", ".", "directory to locate the module from")
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	root, err := lint.FindModuleRoot(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, p := range pkgs {
+		for _, terr := range p.TypeErrors {
+			fmt.Fprintf(os.Stderr, "relmaclint: type error in %s: %v\n", p.Path, terr)
+		}
+	}
+
+	cfg := lint.DefaultConfig()
+	if *checks != "" {
+		cfg.Checks = strings.Split(*checks, ",")
+	}
+	res := lint.Run(pkgs, cfg)
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	} else {
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
+		for _, s := range res.Suppressions {
+			fmt.Println(s)
+		}
+		fmt.Printf("relmaclint: %d package(s), %d finding(s), %d suppression(s)\n",
+			len(pkgs), len(res.Findings), len(res.Suppressions))
+	}
+	if len(res.Findings) > 0 {
+		os.Exit(1)
+	}
+}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 
@@ -32,12 +33,14 @@ func main() {
 		speed   = 0.0004
 		horizon = 3000
 	)
-	rng := rand.New(rand.NewSource(7))
+	seed := flag.Int64("seed", 7, "RNG seed for mobility and the channel")
+	flag.Parse()
+	rng := rand.New(rand.NewSource(*seed))
 	model := mobility.NewWaypoint(nodes, speed, speed, 0, rng)
 	driver := &mobility.Driver{Model: model, Radius: radius, BeaconEvery: 25}
 	tp := topo.FromPoints(model.Positions(), radius)
 
-	eng := sim.New(sim.Config{Topo: tp, Seed: 3, SlotHook: driver.Hook()})
+	eng := sim.New(sim.Config{Topo: tp, Seed: *seed ^ 0x9e3779b9, SlotHook: driver.Hook()})
 	inner := dcf.NewPlain(mac.DefaultConfig())
 	stations := make([]*beacon.Station, nodes)
 	eng.AttachMACs(func(node int, env *sim.Env) sim.MAC {

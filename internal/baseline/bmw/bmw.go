@@ -219,5 +219,8 @@ func (m *Multicaster) OnDeliver(st *dcf.Station, env *sim.Env, f *frames.Frame) 
 				Type: frames.ACK, Dst: f.Src, MsgID: f.MsgID,
 			})
 		}
+	default:
+		// CTS/ACK are consumed on the sender side; RAK/NAK/Beacon play
+		// no role in BMW's per-neighbor unicast rounds.
 	}
 }

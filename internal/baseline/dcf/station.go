@@ -313,6 +313,9 @@ func (st *Station) Deliver(env *sim.Env, f *frames.Frame) {
 			if addressed {
 				st.uni.onControl(f)
 			}
+		default:
+			// RAK, NAK and Beacon are not part of the DCF unicast
+			// exchange; ignoring them is a decision, not an oversight.
 		}
 	}
 

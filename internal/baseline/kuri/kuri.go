@@ -197,6 +197,9 @@ func (m *Multicaster) OnDeliver(st *dcf.Station, env *sim.Env, f *frames.Frame) 
 				Type: frames.ACK, Dst: f.Src, MsgID: f.MsgID,
 			})
 		}
+	default:
+		// CTS/ACK/NAK reach the sender via its response bookkeeping;
+		// RAK and Beacon play no role in the leader-based scheme.
 	}
 }
 

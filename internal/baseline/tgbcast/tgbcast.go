@@ -221,6 +221,9 @@ func (m *Multicaster) OnDeliver(st *dcf.Station, env *sim.Env, f *frames.Frame) 
 				return p.Type == frames.NAK && p.MsgID == f.MsgID
 			})
 		}
+	default:
+		// CTS/NAK are sender-side events (handled via responses), and
+		// ACK/RAK/Beacon play no role in the [19]/[20] exchanges.
 	}
 }
 

@@ -282,6 +282,9 @@ func (b *Batch) OnDeliver(st *dcf.Station, env *sim.Env, f *frames.Frame) {
 			Type: frames.ACK, Dst: f.Src, MsgID: f.MsgID,
 			Duration: f.Duration - tm.Control,
 		})
+	default:
+		// CTS/ACK are consumed by the sender's batch loop; NAK and
+		// Beacon play no role in the BMMM/LAMM exchange (Figure 3).
 	}
 }
 

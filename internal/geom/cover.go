@@ -23,7 +23,9 @@ func CoverAngle(p, q Point, r float64) (Arc, bool) {
 	if d > r {
 		return Arc{}, false
 	}
-	if d == 0 {
+	if d < coverEps {
+		// Co-located up to numerical noise: below the same slack segments()
+		// uses, acos(d/2r) ≈ π/2 carries no angular information anyway.
 		return FullArc(), true
 	}
 	half := math.Acos(d / (2 * r))

@@ -1,0 +1,79 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// determinismAnalyzer bans nondeterminism sources on sim-path packages:
+// wall-clock reads (time.Now, time.Since) and the package-level math/rand
+// functions that draw from the shared global source. Constructors that
+// merely build an explicitly seeded generator (rand.New, rand.NewSource,
+// …) are allowed here — the seedflow check audits their seeds.
+//
+// Only call expressions are flagged. Referencing time.Now as a value —
+// say, as the default of an injectable clock field — is the sanctioned
+// structural escape: the wall clock then enters the sim path only when a
+// caller outside it installs the default.
+var determinismAnalyzer = &Analyzer{
+	Name: "determinism",
+	Doc:  "no wall-clock or global-RNG calls in sim-path packages",
+	Run:  runDeterminism,
+}
+
+// randConstructors are the math/rand (and /v2) package-level functions
+// that do not touch the global source.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+// bannedTime are the wall-clock reads the determinism invariant forbids.
+var bannedTime = map[string]bool{"Now": true, "Since": true}
+
+func runDeterminism(p *Pass) {
+	if !p.Cfg.inSimPath(p.Path) {
+		return
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(p, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true // methods are fine; the bans are package-level
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if bannedTime[fn.Name()] {
+					p.Reportf(call.Pos(), "call to time.%s on the sim path; inject a clock (or slot counter) instead", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					p.Reportf(call.Pos(), "call to global %s.%s on the sim path; use an explicitly seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a call expression to the *types.Func it invokes, or
+// nil for non-function calls (conversions, function-typed variables).
+func calleeFunc(p *Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return nil
+	}
+	fn, _ := p.Info.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,78 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+)
+
+// floateqAnalyzer forbids exact ==/!= between floating-point operands in
+// the geometry package. The LAMM arc machinery of Theorems 1–4 is built
+// on acos/atan2 results that abut only up to ~1e-15; exact comparison
+// there is a latent coverage-hole bug, which is why the package routes
+// every tolerance decision through the coverEps guard. The one exemption
+// is structural: functions declared in the designated epsilon file
+// (arc.go) whose body references the epsilon constant — i.e. the helpers
+// that exist to centralise the guarded comparison.
+var floateqAnalyzer = &Analyzer{
+	Name: "floateq",
+	Doc:  "no exact float ==/!= in the geometry package outside the arc.go epsilon helpers",
+	Run:  runFloatEq,
+}
+
+func runFloatEq(p *Pass) {
+	guard := false
+	for _, gp := range p.Cfg.GeomPaths {
+		if p.Path == gp {
+			guard = true
+		}
+	}
+	if !guard {
+		return
+	}
+	for _, file := range p.Files {
+		fname := filepath.Base(p.Fset.Position(file.Pos()).Filename)
+		ast.Inspect(file, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p, be.X) || !isFloat(p, be.Y) {
+				return true
+			}
+			if fname == p.Cfg.EpsFile && epsHelper(p, file, be.Pos()) {
+				return true
+			}
+			p.Reportf(be.Pos(), "exact float %s comparison; use a %s-guarded helper (see %s)", be.Op, p.Cfg.EpsIdent, p.Cfg.EpsFile)
+			return true
+		})
+	}
+}
+
+// isFloat reports whether the expression has floating-point type.
+func isFloat(p *Pass, e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// epsHelper reports whether pos falls inside a function whose body
+// references the epsilon identifier — the designated guarded helpers.
+func epsHelper(p *Pass, file *ast.File, pos token.Pos) bool {
+	fd := funcFor(file, pos)
+	if fd == nil || fd.Body == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == p.Cfg.EpsIdent {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

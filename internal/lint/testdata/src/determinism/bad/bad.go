@@ -1,0 +1,24 @@
+// Package bad seeds one violation per banned nondeterminism source on a
+// package the harness configures as sim-path.
+package bad
+
+import (
+	"math/rand"
+	"time"
+)
+
+func elapsed() time.Duration {
+	start := time.Now() // want `call to time\.Now on the sim path`
+	wait()
+	return time.Since(start) // want `call to time\.Since on the sim path`
+}
+
+func wait() {}
+
+func draw() int {
+	return rand.Intn(10) // want `call to global rand\.Intn on the sim path`
+}
+
+func shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `call to global rand\.Shuffle on the sim path`
+}

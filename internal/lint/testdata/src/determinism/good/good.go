@@ -1,0 +1,30 @@
+// Package good shows the sanctioned patterns on a sim-path package: no
+// findings expected anywhere in this file.
+package good
+
+import (
+	"math/rand"
+	"time"
+)
+
+// meter demonstrates the structural clock escape: time.Now referenced as
+// a function value (an injectable default), never called here.
+type meter struct{ clock func() time.Time }
+
+func newMeter() meter { return meter{clock: time.Now} }
+
+func (m meter) stamp() time.Time { return m.clock() }
+
+// build constructs an explicitly seeded generator; constructors are the
+// seedflow check's concern, and this seed traces to a parameter.
+func build(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// draw uses a seeded generator's methods, which are deterministic given
+// the seed.
+func draw(rng *rand.Rand) int { return rng.Intn(10) }
+
+// since is a local function that happens to share a banned name; only
+// the time package's functions are banned.
+func since(t time.Time) time.Time { return t }
+
+func useSince() time.Time { return since(time.Time{}) }

@@ -1,0 +1,27 @@
+// Package fix exercises the //relmac:allow directive path: trailing and
+// own-line suppressions, a stale directive, and a malformed one. The
+// harness asserts on the Result directly rather than with want comments,
+// because suppressions must be *recorded*, not merely silent.
+package fix
+
+import "time"
+
+func trailing() time.Time {
+	return time.Now() //relmac:allow determinism fixture demonstrates trailing suppression
+}
+
+func ownLine() time.Time {
+	//relmac:allow determinism fixture demonstrates own-line suppression
+	return time.Now()
+}
+
+func stale() int {
+	x := 1 + 1 //relmac:allow determinism nothing wrong on this line, reported stale
+	return x
+}
+
+//relmac:allow bogus not a known check, reported malformed
+func malformedCheck() {}
+
+//relmac:allow determinism
+func missingReason() {}

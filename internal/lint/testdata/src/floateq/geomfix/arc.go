@@ -1,0 +1,23 @@
+// Package geomfix mirrors the geometry package's epsilon discipline for
+// the floateq fixture: the harness configures it as a geometry package
+// with arc.go as the designated epsilon file.
+package geomfix
+
+const coverEps = 1e-9
+
+// almostEq is a designated epsilon helper: it lives in arc.go and routes
+// the tolerance decision through coverEps, so its exact-equality
+// fast-path is exempt.
+func almostEq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	d := a - b
+	return d < coverEps && d > -coverEps
+}
+
+// rawEq also lives in arc.go but never references coverEps, so it earns
+// no exemption.
+func rawEq(a, b float64) bool {
+	return a == b // want `exact float == comparison`
+}

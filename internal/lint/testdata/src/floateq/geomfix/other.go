@@ -1,0 +1,20 @@
+package geomfix
+
+type vec struct{ X, Y float64 }
+
+func compare(x, y float64) bool {
+	if x != y { // want `exact float != comparison`
+		return false
+	}
+	return x == y // want `exact float == comparison`
+}
+
+func fields(a, b vec) bool {
+	return a.X == b.X // want `exact float == comparison`
+}
+
+// ints compares integers; only floating-point equality is banned.
+func ints(a, b int) bool { return a == b }
+
+// ordered comparisons are how epsilon guards are built; they pass.
+func ordered(a, b float64) bool { return a <= b }

@@ -1,0 +1,25 @@
+// Package fix exercises the obswiring check against the real sim
+// Observer interface.
+package fix
+
+import "relmac/internal/sim"
+
+// fanOut dispatches events by hand, bypassing MultiObserver's panic
+// attribution: flagged.
+func fanOut(obs []sim.Observer, req *sim.Request, now sim.Slot) {
+	for _, o := range obs { // want `hand-rolled observer fan-out`
+		o.OnComplete(req, now)
+	}
+}
+
+// collect only gathers observers and hands them to the sanctioned
+// combinator: not a dispatch loop.
+func collect(obs []sim.Observer) sim.Observer {
+	kept := make([]sim.Observer, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	return sim.CombineObservers(kept...)
+}

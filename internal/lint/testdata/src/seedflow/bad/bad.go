@@ -1,0 +1,18 @@
+// Package bad seeds untracked-literal violations for the seedflow check.
+package bad
+
+import "math/rand"
+
+const defaultSeed = 99
+
+func literals() {
+	_ = rand.NewSource(42) // want `untracked literal seed in rand\.NewSource`
+
+	s := int64(7)
+	_ = rand.New(rand.NewSource(s)) // want `untracked literal seed in rand\.NewSource`
+
+	_ = rand.NewSource(defaultSeed) // want `untracked literal seed in rand\.NewSource`
+
+	base := int64(3)
+	_ = rand.NewSource(base + 1) // want `untracked literal seed in rand\.NewSource`
+}

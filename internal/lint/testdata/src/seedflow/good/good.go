@@ -1,0 +1,41 @@
+// Package good shows every sanctioned seed source: no findings expected.
+package good
+
+import "math/rand"
+
+type config struct{ Seed int64 }
+
+// fromParam: the seed traces to a function parameter.
+func fromParam(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// fromField: the seed traces to a config struct field.
+func fromField(c config) *rand.Rand { return rand.New(rand.NewSource(c.Seed)) }
+
+// splitmix64 is the project's stateless hash; its result is a derivation,
+// not a literal.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// fromDerivation: the seed is the result of a derivation call.
+func fromDerivation(run int) *rand.Rand {
+	return rand.New(rand.NewSource(int64(splitmix64(uint64(run)))))
+}
+
+// mixed: literal mixing constants are fine as long as a runtime value
+// participates.
+func mixed(seed int64) *rand.Rand {
+	derived := seed ^ 0x5851f42d4c957f2d
+	return rand.New(rand.NewSource(derived + 1))
+}
+
+// reseeded: a variable overwritten with a runtime value is not
+// constant-derived even though its first assignment was a literal.
+func reseeded(seed int64) *rand.Rand {
+	s := int64(1)
+	s = seed
+	return rand.New(rand.NewSource(s))
+}
