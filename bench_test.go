@@ -288,6 +288,24 @@ func BenchmarkEngineThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineThroughputReference measures the identical workload on
+// the reference path (sim.Config.Reference): idle-station scheduling,
+// the transmission free-list, the cached geometry tables and the LAMM
+// MCS memo are all disabled. The optimized-vs-reference ratio is the
+// machine-independent speedup figure cmd/relbench records in BENCH.json
+// and guards against regression via BENCH_BASELINE.json.
+func BenchmarkEngineThroughputReference(b *testing.B) {
+	cfg := experiments.Defaults(experiments.BMMM, 3)
+	cfg.Reference = true
+	cfg.Slots = b.N
+	if cfg.Slots < 100 {
+		cfg.Slots = 100
+	}
+	if _, err := experiments.Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
 // BenchmarkEngineObserverOverhead quantifies the cost of the
 // observability layer around the engine's observer dispatch:
 //

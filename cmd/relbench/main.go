@@ -1,0 +1,96 @@
+// Command relbench is the benchmark-regression harness: it measures
+// engine slot throughput on the optimized and reference paths, per-slot
+// allocation pressure, and per-protocol sweep wall time, writes the
+// results to BENCH.json, and compares them against the committed
+// BENCH_BASELINE.json.
+//
+// Usage:
+//
+//	go run ./cmd/relbench [-quick] [-json] [-out BENCH.json]
+//	                      [-baseline BENCH_BASELINE.json] [-tolerance 0.25]
+//
+// The gate rests only on machine-independent quantities — the
+// reference/optimized speedup ratio and exact allocations per slot —
+// so the committed baseline is valid on any machine; absolute
+// nanoseconds are recorded as advisory context. Exit status is 1 when a
+// regression exceeds the tolerance band, 2 on a measurement failure.
+//
+// To refresh the baseline after an intentional performance change, run
+// both profiles and merge the reports:
+//
+//	go run ./cmd/relbench -quick -out /tmp/q.json
+//	go run ./cmd/relbench -out /tmp/f.json
+//
+// then update BENCH_BASELINE.json's "quick"/"full" entries from them.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"relmac/internal/relbench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the CI smoke profile instead of the full profile")
+	jsonOut := flag.Bool("json", false, "print the report as JSON to stdout")
+	out := flag.String("out", "BENCH.json", "path to write the report (empty disables)")
+	baseline := flag.String("baseline", "BENCH_BASELINE.json", "baseline to compare against (missing file skips the gate)")
+	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional slack before a regression is flagged")
+	flag.Parse()
+
+	profile := relbench.Full
+	if *quick {
+		profile = relbench.Quick
+	}
+
+	report, err := relbench.Measure(profile, func(line string) {
+		fmt.Fprintln(os.Stderr, "relbench:", line)
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relbench:", err)
+		os.Exit(2)
+	}
+
+	if *out != "" {
+		if err := relbench.WriteReport(*out, report); err != nil {
+			fmt.Fprintln(os.Stderr, "relbench:", err)
+			os.Exit(2)
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, "relbench:", err)
+			os.Exit(2)
+		}
+	} else {
+		fmt.Printf("profile %s: optimized %.0f ns/slot (%.2f allocs/slot), reference %.0f ns/slot, speedup %.2fx\n",
+			report.Profile, report.Engine.Optimized.NsPerSlot,
+			report.Engine.Optimized.AllocsPerSlot,
+			report.Engine.Reference.NsPerSlot, report.Engine.Speedup)
+		for _, p := range report.Protocols {
+			fmt.Printf("  %-8s %6d slots in %8.1f ms (%.0f slots/sec)\n",
+				p.Protocol, p.Slots, p.WallMs, p.SlotsPerSec)
+		}
+	}
+
+	base, err := relbench.LoadBaseline(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "relbench:", err)
+		os.Exit(2)
+	}
+	regressions, advisories := relbench.Compare(report, base, *tolerance)
+	for _, a := range advisories {
+		fmt.Fprintln(os.Stderr, "relbench: note:", a)
+	}
+	for _, r := range regressions {
+		fmt.Fprintln(os.Stderr, "relbench: REGRESSION:", r)
+	}
+	if len(regressions) > 0 {
+		os.Exit(1)
+	}
+}

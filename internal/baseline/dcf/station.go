@@ -130,6 +130,24 @@ func (st *Station) Tick(env *sim.Env) *frames.Frame {
 	return st.mc.SenderTick(st, env)
 }
 
+// Quiescent implements sim.Sleeper: the station can be skipped while it
+// has nothing in service, nothing queued and no scheduled response. This
+// covers every protocol in the repository — Multicasters are driven only
+// while a request is in service (SenderTick) or a frame arrives
+// (OnDeliver), and their receiver-side obligations all flow through the
+// Responder, so station-level emptiness implies protocol-level idleness.
+// A quiescent Tick only samples carrier sense into the channel history,
+// which Wake reconstructs, and draws nothing from the PRNG — backoff
+// draws happen strictly inside contention, which requires a request in
+// service.
+func (st *Station) Quiescent(after sim.Slot) bool {
+	return st.cur == nil && st.queue.Len() == 0 && !st.resp.Pending(after)
+}
+
+// Wake implements sim.Sleeper: restore the idle streak the channel
+// history would hold had it observed every skipped slot.
+func (st *Station) Wake(idleRun int) { st.hist.Restore(idleRun) }
+
 func (st *Station) beginService(env *sim.Env) {
 	st.backoff.Reset()
 	st.contended = false

@@ -56,15 +56,20 @@ const (
 type Batch struct {
 	pick Picker
 
-	ph       phase
-	req      *sim.Request
-	S        []int // remaining intended receivers
-	poll     []int // stations polled this round
-	i        int   // next poll/RAK index
-	checkAt  sim.Slot
-	anyCTS   bool
-	acked    map[int]bool
-	attempts int
+	ph   phase
+	req  *sim.Request
+	S    []int // remaining intended receivers
+	poll []int // stations polled this round
+	// pollAddrs is poll as frame addresses, built once per round: every
+	// RTS and RAK of the round carries the same group, and receivers
+	// only read it, so the frames can share one slice. A fresh slice is
+	// built each round — frames outlive rounds in tracers and tests.
+	pollAddrs []frames.Addr
+	i         int // next poll/RAK index
+	checkAt   sim.Slot
+	anyCTS    bool
+	acked     map[int]bool
+	attempts  int
 
 	// rxData tracks data frames this station received as a group member,
 	// so it can answer RAK frames (receiver's protocol, Figure 3).
@@ -81,7 +86,17 @@ func NewBMMM(cfg mac.Config) func(node int, env *sim.Env) sim.MAC {
 // NewLAMM returns a sim.MAC factory for stations running LAMM.
 func NewLAMM(cfg mac.Config) func(node int, env *sim.Env) sim.MAC {
 	return func(node int, env *sim.Env) sim.MAC {
-		return dcf.NewStation(node, cfg, &Batch{pick: lammPicker{}})
+		return dcf.NewStation(node, cfg, &Batch{pick: newLAMMPicker(nil, true)})
+	}
+}
+
+// NewLAMMReference returns a LAMM factory with the per-topology MCS memo
+// disabled, re-deriving MCS(S) from scratch every round. It exists for
+// the reference-vs-optimized equivalence tests and for cmd/relbench;
+// results are bit-identical to NewLAMM.
+func NewLAMMReference(cfg mac.Config) func(node int, env *sim.Env) sim.MAC {
+	return func(node int, env *sim.Env) sim.MAC {
+		return dcf.NewStation(node, cfg, &Batch{pick: newLAMMPicker(nil, false)})
 	}
 }
 
@@ -97,7 +112,7 @@ func NewLAMMNoisy(cfg mac.Config, sigma float64, seed int64) func(node int, env 
 		locs = nil
 	}
 	return func(node int, env *sim.Env) sim.MAC {
-		return dcf.NewStation(node, cfg, &Batch{pick: lammPicker{locs: locs}})
+		return dcf.NewStation(node, cfg, &Batch{pick: newLAMMPicker(locs, true)})
 	}
 }
 
@@ -121,6 +136,7 @@ func (b *Batch) Begin(st *dcf.Station, env *sim.Env, req *sim.Request) {
 // startRound enters the contention phase that precedes a batch round.
 func (b *Batch) startRound(st *dcf.Station, env *sim.Env) {
 	b.poll = b.pick.Poll(env, b.S)
+	b.pollAddrs = dcf.GroupAddrs(b.poll)
 	b.ph = contend
 	st.StartContention(env)
 }
@@ -136,7 +152,14 @@ func (b *Batch) SenderTick(st *dcf.Station, env *sim.Env) *frames.Frame {
 		b.attempts++
 		b.i = 0
 		b.anyCTS = false
-		b.acked = make(map[int]bool, len(b.poll))
+		// Reuse the ACK set across rounds; only lookups and keyed writes
+		// touch it, so clearing instead of reallocating cannot perturb
+		// any iteration order.
+		if b.acked == nil {
+			b.acked = make(map[int]bool, len(b.poll))
+		} else {
+			clear(b.acked)
+		}
 		b.ph = polling
 		b.checkAt = now
 		return b.tickPolling(st, env)
@@ -166,7 +189,7 @@ func (b *Batch) tickPolling(st *dcf.Station, env *sim.Env) *frames.Frame {
 		b.checkAt = now + 2 // RTS this slot, CTS next, decide after
 		return &frames.Frame{
 			Type: frames.RTS, Dst: frames.Addr(target),
-			MsgID: b.req.ID, Group: dcf.GroupAddrs(b.poll),
+			MsgID: b.req.ID, Group: b.pollAddrs,
 			Duration: tm.BatchDuration(n, b.i),
 		}
 	}
@@ -198,7 +221,7 @@ func (b *Batch) tickRaking(st *dcf.Station, env *sim.Env) *frames.Frame {
 		b.checkAt = now + 2 // RAK this slot, ACK next, decide after
 		return &frames.Frame{
 			Type: frames.RAK, Dst: frames.Addr(target),
-			MsgID: b.req.ID, Group: dcf.GroupAddrs(b.poll),
+			MsgID: b.req.ID, Group: b.pollAddrs,
 			Duration: tm.RAKDuration(n, b.i),
 		}
 	}

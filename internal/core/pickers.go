@@ -5,7 +5,20 @@ import (
 
 	"relmac/internal/geom"
 	"relmac/internal/sim"
+	"relmac/internal/topo"
 )
+
+// newLAMMPicker builds the LAMM strategy; memo enables the per-topology
+// MCS cache (disabled only by the reference path, so equivalence tests
+// can prove the cache changes no output bit). Cached covers are returned
+// without copying — Poll results are read-only under the Picker contract.
+func newLAMMPicker(locs *NoisyLocations, memo bool) *lammPicker {
+	p := &lammPicker{locs: locs}
+	if memo {
+		p.memo = &mcsMemo{}
+	}
+	return p
+}
 
 // bmmmPicker is BMMM's trivial strategy: poll every remaining receiver,
 // retire exactly the ones that ACKed.
@@ -15,18 +28,25 @@ type bmmmPicker struct{}
 func (bmmmPicker) Poll(env *sim.Env, S []int) []int { return S }
 
 // Update implements Picker: S \ S_ACK (Figure 3, sender's protocol).
+// acked is at most a batch round's poll set, small enough that a linear
+// membership scan beats building a set.
 func (bmmmPicker) Update(env *sim.Env, S []int, acked []int) []int {
-	got := make(map[int]bool, len(acked))
-	for _, id := range acked {
-		got[id] = true
-	}
 	out := make([]int, 0, len(S))
 	for _, id := range S {
-		if !got[id] {
+		if !containsInt(acked, id) {
 			out = append(out, id)
 		}
 	}
 	return out
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
 }
 
 // lammPicker is LAMM's location-aware strategy (§5): poll only the
@@ -41,10 +61,54 @@ func (bmmmPicker) Update(env *sim.Env, S []int, acked []int) []int {
 // LAMM tolerates before Theorem 3's guarantee erodes).
 type lammPicker struct {
 	locs *NoisyLocations
+	memo *mcsMemo
+}
+
+// mcsMemo caches MinCoverSet results per receiver sequence. The branch
+// and bound behind MCS(S) is the most expensive computation a LAMM
+// station performs, and the same remainder set recurs across the rounds
+// and retries of a message. The key encodes the *ordered* ID sequence,
+// not the set: MinCoverSet returns the first minimal cover its
+// enumeration order finds, and that order follows the input order, so an
+// order-insensitive key could hand back a different (equally minimal)
+// cover than the uncached computation — changing output bits. Believed
+// positions are fixed per topology snapshot (NoisyLocations materialises
+// once), so entries stay valid until the topology pointer changes.
+type mcsMemo struct {
+	topo *topo.Topology // snapshot the entries were computed against
+	m    map[string][]int
+	key  []byte
+}
+
+// lookup returns the memoised cover for the sequence S, resetting the
+// cache when the topology snapshot changed.
+func (c *mcsMemo) lookup(tp *topo.Topology, S []int) ([]int, bool) {
+	if c.topo != tp {
+		c.topo = tp
+		c.m = make(map[string][]int)
+		return nil, false
+	}
+	out, ok := c.m[string(c.encode(S))]
+	return out, ok
+}
+
+// store records the cover computed for the sequence S.
+func (c *mcsMemo) store(S, cover []int) {
+	c.m[string(c.encode(S))] = cover
+}
+
+// encode packs the ID sequence into the reused key buffer.
+func (c *mcsMemo) encode(S []int) []byte {
+	k := c.key[:0]
+	for _, id := range S {
+		k = append(k, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	c.key = k
+	return k
 }
 
 // pos returns the believed position of the station with the given ID.
-func (p lammPicker) pos(env *sim.Env, id int) geom.Point {
+func (p *lammPicker) pos(env *sim.Env, id int) geom.Point {
 	if p.locs != nil {
 		return p.locs.Pos(env, id)
 	}
@@ -54,9 +118,14 @@ func (p lammPicker) pos(env *sim.Env, id int) geom.Point {
 // Poll implements Picker using the MCS(S) procedure (Theorem 2). The
 // station knows its neighbors' locations from GPS-bearing beacons; here
 // that knowledge is the topology snapshot (optionally jittered).
-func (p lammPicker) Poll(env *sim.Env, S []int) []int {
+func (p *lammPicker) Poll(env *sim.Env, S []int) []int {
 	if len(S) <= 1 {
 		return S
+	}
+	if p.memo != nil {
+		if out, ok := p.memo.lookup(env.Topo(), S); ok {
+			return out
+		}
 	}
 	pts := make([]geom.Point, len(S))
 	for k, id := range S {
@@ -67,12 +136,15 @@ func (p lammPicker) Poll(env *sim.Env, S []int) []int {
 	for k, idx := range sel {
 		out[k] = S[idx]
 	}
+	if p.memo != nil {
+		p.memo.store(S, out)
+	}
 	return out
 }
 
 // Update implements Picker using the angle-based UPDATE(S, S_ACK)
 // procedure (Theorem 4).
-func (p lammPicker) Update(env *sim.Env, S []int, acked []int) []int {
+func (p *lammPicker) Update(env *sim.Env, S []int, acked []int) []int {
 	if len(acked) == 0 {
 		return S
 	}

@@ -1,0 +1,134 @@
+package experiments_test
+
+// The differential equivalence suite behind the engine's hot-path
+// optimizations: the same seed run through the optimized engine and
+// through the reference path (Config.Reference — idle-station
+// scheduling, the transmission free-list, the geometry caches and the
+// LAMM MCS memo all disabled) must produce identical channel-level
+// transcripts, identical observer event streams and identical metric
+// summaries for every protocol. Any output-bit drift introduced by a
+// future optimization fails here with the first diverging event.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"testing"
+
+	"relmac/internal/experiments"
+	"relmac/internal/frames"
+	"relmac/internal/obs"
+	"relmac/internal/sim"
+)
+
+// transcript records every channel-level event as a formatted line — a
+// maximally unforgiving equality witness: sender, receiver, frame type,
+// msgID, duration and slot all participate.
+type transcript struct {
+	lines []string
+}
+
+func (tr *transcript) add(format string, args ...any) {
+	tr.lines = append(tr.lines, fmt.Sprintf(format, args...))
+}
+
+func (tr *transcript) TxStart(f *frames.Frame, sender int, start, end sim.Slot) {
+	tr.add("tx %d->%v %v msg=%d dur=%d [%d,%d]", sender, f.Dst, f.Type, f.MsgID, f.Duration, start, end)
+}
+
+func (tr *transcript) RxOK(f *frames.Frame, receiver int, now sim.Slot) {
+	tr.add("rx %d<-%v %v msg=%d @%d", receiver, f.Src, f.Type, f.MsgID, now)
+}
+
+func (tr *transcript) RxLost(f *frames.Frame, receiver int, now sim.Slot) {
+	tr.add("lost %d<-%v %v msg=%d @%d", receiver, f.Src, f.Type, f.MsgID, now)
+}
+
+// runOnce executes one run and returns its three equality witnesses:
+// the channel transcript, the observer event stream (JSONL) and the
+// metric summary (JSON).
+func runOnce(t *testing.T, proto experiments.Protocol, reference bool) ([]string, []byte, []byte) {
+	t.Helper()
+	tracer := obs.NewTracer(1 << 20)
+	cfg := experiments.Defaults(proto, 11)
+	cfg.Slots = 2000
+	cfg.Observers = []sim.Observer{tracer}
+	ch := &transcript{}
+	cfg.Tracer = ch
+	cfg.Reference = reference
+
+	res, err := experiments.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s reference=%v: %v", proto, reference, err)
+	}
+	if tracer.Dropped() != 0 {
+		t.Fatalf("%s: tracer dropped %d events; raise capacity", proto, tracer.Dropped())
+	}
+	var events bytes.Buffer
+	if err := tracer.WriteJSONL(&events); err != nil {
+		t.Fatal(err)
+	}
+	summary, err := json.Marshal(res.Summary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch.lines, events.Bytes(), summary
+}
+
+// TestOptimizedMatchesReference is the differential gate for all five
+// protocols of the paper's evaluation.
+func TestOptimizedMatchesReference(t *testing.T) {
+	for _, proto := range experiments.AllProtocols {
+		t.Run(string(proto), func(t *testing.T) {
+			optCh, optEv, optSum := runOnce(t, proto, false)
+			refCh, refEv, refSum := runOnce(t, proto, true)
+
+			if len(optCh) != len(refCh) {
+				t.Fatalf("transcript length diverged: optimized %d events, reference %d", len(optCh), len(refCh))
+			}
+			for i := range optCh {
+				if optCh[i] != refCh[i] {
+					t.Fatalf("transcript diverged at event %d:\n  optimized: %s\n  reference: %s", i, optCh[i], refCh[i])
+				}
+			}
+			if !bytes.Equal(optEv, refEv) {
+				t.Error("observer event streams diverged")
+			}
+			if !bytes.Equal(optSum, refSum) {
+				t.Errorf("summaries diverged:\n  optimized: %s\n  reference: %s", optSum, refSum)
+			}
+		})
+	}
+}
+
+// TestOptimizedMatchesReferenceSeeds reruns the gate for LAMM — the
+// protocol with the deepest cache stack (distance tables, MCS memo,
+// idle-skip) — across several seeds, guarding against an equivalence
+// that only holds on one lucky trajectory. (Mid-run topology swaps,
+// which exercise the generation-stamped cache invalidation, are covered
+// by the sim package's own tests; RunConfig does not expose a slot
+// hook.)
+func TestOptimizedMatchesReferenceSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short")
+	}
+	for seed := int64(1); seed <= 3; seed++ {
+		cfgO := experiments.Defaults(experiments.LAMM, seed)
+		cfgO.Slots = 1200
+		cfgR := cfgO
+		cfgR.Reference = true
+		resO, err := experiments.Run(cfgO)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resR, err := experiments.Run(cfgR)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, _ := json.Marshal(resO.Summary)
+		b, _ := json.Marshal(resR.Summary)
+		if !bytes.Equal(a, b) {
+			t.Errorf("seed %d: summaries diverged:\n  optimized: %s\n  reference: %s", seed, a, b)
+		}
+	}
+}

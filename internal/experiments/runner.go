@@ -111,6 +111,14 @@ type RunConfig struct {
 	// stat registries (internal/obs). Empty keeps the collector-only
 	// fast path.
 	Observers []sim.Observer
+	// Tracer receives channel-level events (sim.Config.Tracer); nil keeps
+	// tracing off. The equivalence tests use it to compare optimized and
+	// reference transcripts frame by frame.
+	Tracer sim.Tracer
+	// Reference runs the engine's naive path (sim.Config.Reference) and,
+	// for LAMM, disables the MCS memo. Results are bit-identical with the
+	// flag on and off; it exists for equivalence tests and cmd/relbench.
+	Reference bool
 }
 
 // Defaults returns the paper's Table 2 configuration for the given
@@ -171,6 +179,9 @@ func faultFactory(cfg *RunConfig, fseed int64) (func(node int, env *sim.Env) sim
 	if cfg.Fault.LocNoise > 0 && cfg.Protocol == LAMM {
 		return core.NewLAMMNoisy(cfg.MAC, cfg.Fault.LocNoise, fseed+1), nil
 	}
+	if cfg.Reference && cfg.Protocol == LAMM {
+		return core.NewLAMMReference(cfg.MAC), nil
+	}
 	return Factory(cfg.Protocol, cfg.MAC)
 }
 
@@ -199,6 +210,8 @@ func Run(cfg RunConfig) (RunResult, error) {
 		Impairment: imp,
 		Seed:       cfg.Seed ^ 0x1e3779b97f4a7c15, // decouple channel RNG from topology
 		Observer:   observer,
+		Tracer:     cfg.Tracer,
+		Reference:  cfg.Reference,
 	})
 	eng.AttachMACs(factory)
 	gen := traffic.NewGenerator(tp)

@@ -14,7 +14,10 @@
 //     exhaustive against frames.NumTypes or carries a default;
 //   - obswiring: multiple observers are combined with
 //     sim.CombineObservers / MultiObserver, never hand-rolled fan-out
-//     loops, preserving panic attribution.
+//     loops, preserving panic attribution;
+//   - simsafe: no goroutine spawns and no sync.Pool in the packages that
+//     run inside the slot loop — recycling there must use explicit
+//     deterministic free-lists, and the loop stays single-threaded.
 //
 // A finding can be suppressed per line with a
 //
@@ -46,6 +49,12 @@ type Config struct {
 	// SimPaths are the import-path prefixes of sim-path packages — the
 	// bit-reproducible core the determinism check guards.
 	SimPaths []string
+	// SerialPaths are the import-path prefixes of the packages that run
+	// inside the slot loop, guarded by the simsafe check. A strict
+	// subset of the sim path: the experiment harness is sim-path (its
+	// seeds feed engines) but not serial (Sweep legitimately fans out
+	// workers).
+	SerialPaths []string
 	// GeomPaths are the exact import paths the floateq check guards.
 	GeomPaths []string
 	// FramesPath is the package defining the frame Type tag and NumTypes.
@@ -76,6 +85,22 @@ func DefaultConfig() *Config {
 			// seedFor): a wall-clock read there perturbs nothing today but
 			// is exactly the class of drift the check exists to stop.
 			"relmac/internal/experiments",
+		},
+		SerialPaths: []string{
+			"relmac/internal/sim",
+			"relmac/internal/core",
+			"relmac/internal/mac",
+			"relmac/internal/baseline",
+			"relmac/internal/fault",
+			"relmac/internal/frames",
+			"relmac/internal/geom",
+			"relmac/internal/topo",
+			"relmac/internal/traffic",
+			"relmac/internal/metrics",
+			"relmac/internal/obs",
+			"relmac/internal/capture",
+			"relmac/internal/beacon",
+			"relmac/internal/mobility",
 		},
 		GeomPaths:  []string{"relmac/internal/geom"},
 		FramesPath: "relmac/internal/frames",
@@ -145,6 +170,7 @@ func Analyzers() []*Analyzer {
 		floateqAnalyzer,
 		frameswitchAnalyzer,
 		obswiringAnalyzer,
+		simsafeAnalyzer,
 	}
 }
 

@@ -75,6 +75,8 @@ func TestFixtures(t *testing.T) {
 		{"floateq/geomfix", func(c *Config) { c.GeomPaths = []string{"fix/floateq/geomfix"} }},
 		{"frameswitch/fix", nil},
 		{"obswiring/fix", nil},
+		{"simsafe/bad", func(c *Config) { c.SerialPaths = []string{"fix/simsafe"} }},
+		{"simsafe/good", func(c *Config) { c.SerialPaths = []string{"fix/simsafe"} }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rel, func(t *testing.T) {

@@ -1,0 +1,33 @@
+// Package bad violates the simsafe invariants: goroutine spawns and
+// sync.Pool inside serial sim-path code.
+package bad
+
+import "sync"
+
+var framePool = sync.Pool{ // want `sync.Pool on the serial sim path`
+	New: func() any { return new(int) },
+}
+
+type recycler struct {
+	pool *sync.Pool // want `sync.Pool on the serial sim path`
+}
+
+func fanOut(work []func()) {
+	var wg sync.WaitGroup
+	for _, f := range work {
+		wg.Add(1)
+		go func() { // want `goroutine spawned on the serial sim path`
+			defer wg.Done()
+			f()
+		}()
+	}
+	wg.Wait()
+}
+
+func fire(f func()) {
+	go f() // want `goroutine spawned on the serial sim path`
+}
+
+func grab(r *recycler) any {
+	return r.pool.Get()
+}

@@ -1,0 +1,36 @@
+// Package good shows the sanctioned patterns simsafe must stay silent
+// on: explicit deterministic free-lists instead of sync.Pool, and other
+// sync primitives (Mutex, WaitGroup as a plain counter), which are
+// deterministic under a single goroutine.
+package good
+
+import "sync"
+
+// freeList is the sanctioned replacement for sync.Pool: LIFO reuse with
+// an order fixed entirely by the program, not the scheduler.
+type freeList struct {
+	free []*int
+}
+
+func (f *freeList) get() *int {
+	if n := len(f.free); n > 0 {
+		x := f.free[n-1]
+		f.free = f.free[:n-1]
+		return x
+	}
+	return new(int)
+}
+
+func (f *freeList) put(x *int) { f.free = append(f.free, x) }
+
+// guarded shows that sync itself is not banned — only Pool is.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (g *guarded) bump() {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+}

@@ -204,6 +204,13 @@ func (h *ChannelHistory) IdleFor(n int) bool { return h.idleRun >= n }
 // IdleRun returns the current idle streak length.
 func (h *ChannelHistory) IdleRun() int { return h.idleRun }
 
+// Restore overwrites the idle streak with an externally reconstructed
+// value. The engine's idle-station scheduler calls it (via sim.Sleeper's
+// Wake) when a station resumes ticking after skipped slots: the history
+// missed those Observe calls, but the idle run is a pure function of the
+// channel's busy/idle series, which the engine tracks for every station.
+func (h *ChannelHistory) Restore(run int) { h.idleRun = run }
+
 // DefaultDIFS is the sender inter-frame space in slots: a station may
 // begin (or count down) contention only after this many consecutive idle
 // slots, so 1-slot response turnarounds inside an exchange can never be
@@ -277,10 +284,15 @@ func (n *NAVTable) Observe(msgID int64, until sim.Slot) {
 }
 
 // ObserveFor records a reservation of duration slots following now.
+// Expired entries are pruned first; that is semantics-neutral — an entry
+// with until < now can never affect Yielding, YieldingToOther or Until
+// (all of which prune before answering) — and keeps the table from
+// growing one dead entry per overheard exchange between queries.
 func (n *NAVTable) ObserveFor(msgID int64, now sim.Slot, duration int) {
 	if duration <= 0 {
 		return
 	}
+	n.prune(now)
 	n.Observe(msgID, now+sim.Slot(duration))
 }
 
@@ -355,14 +367,19 @@ func (q *Queue) Head() *sim.Request {
 	return q.reqs[0]
 }
 
-// Pop removes and returns the first request, or nil when empty.
+// Pop removes and returns the first request, or nil when empty. The
+// remaining requests are shifted down rather than re-slicing from the
+// front: queues are almost always a handful of entries, and keeping the
+// backing array's origin lets Push reuse its capacity instead of
+// allocating on nearly every arrival.
 func (q *Queue) Pop() *sim.Request {
 	if len(q.reqs) == 0 {
 		return nil
 	}
 	r := q.reqs[0]
-	q.reqs[0] = nil
-	q.reqs = q.reqs[1:]
+	copy(q.reqs, q.reqs[1:])
+	q.reqs[len(q.reqs)-1] = nil
+	q.reqs = q.reqs[:len(q.reqs)-1]
 	return r
 }
 

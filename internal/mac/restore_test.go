@@ -1,0 +1,59 @@
+package mac
+
+import (
+	"testing"
+
+	"relmac/internal/sim"
+)
+
+// TestChannelHistoryRestore pins the resync contract behind the
+// engine's idle-station scheduler: Restore must behave exactly as if
+// the history had observed the reconstructed busy/idle series itself.
+func TestChannelHistoryRestore(t *testing.T) {
+	var h ChannelHistory
+	h.Observe(true)
+	h.Observe(false)
+	h.Observe(false)
+	if h.IdleRun() != 2 {
+		t.Fatalf("IdleRun = %d, want 2", h.IdleRun())
+	}
+
+	h.Restore(7)
+	if h.IdleRun() != 7 || !h.IdleFor(7) || h.IdleFor(8) {
+		t.Fatalf("after Restore(7): IdleRun = %d, IdleFor(7) = %v, IdleFor(8) = %v",
+			h.IdleRun(), h.IdleFor(7), h.IdleFor(8))
+	}
+
+	// Subsequent observations continue from the restored streak, exactly
+	// as a continuously observing history would.
+	h.Observe(false)
+	if h.IdleRun() != 8 {
+		t.Fatalf("IdleRun after idle slot = %d, want 8", h.IdleRun())
+	}
+	h.Observe(true)
+	if h.IdleRun() != 0 {
+		t.Fatalf("IdleRun after busy slot = %d, want 0", h.IdleRun())
+	}
+
+	// Restore(0) models waking in a slot immediately after a busy one.
+	h.Restore(0)
+	if h.IdleFor(1) {
+		t.Fatal("Restore(0) must not satisfy any idle requirement")
+	}
+}
+
+// TestQueuePopPreservesCapacity guards the allocation fix in Pop: after
+// popping, pushing again must not grow the backing array.
+func TestQueuePopPreservesCapacity(t *testing.T) {
+	var q Queue
+	for burst := 0; burst < 3; burst++ {
+		q.Push(&sim.Request{ID: 1, Deadline: 100})
+		q.Push(&sim.Request{ID: 2, Deadline: 100})
+		if q.Pop() == nil || q.Pop() == nil {
+			t.Fatal("pop returned nil from non-empty queue")
+		}
+	}
+	if got := cap(q.reqs); got > 2 {
+		t.Fatalf("backing array grew to %d across push/pop bursts, want <= 2", got)
+	}
+}

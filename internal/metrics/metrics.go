@@ -49,8 +49,12 @@ type Record struct {
 	// Delivered counts distinct intended receivers that decoded the DATA
 	// frame.
 	Delivered int
-	intended  map[int]bool
-	delivered map[int]bool
+	// intended lists the intended receivers; delivered marks, per entry,
+	// whether that receiver decoded the data frame. Parallel slices beat
+	// maps here: intended sets are neighborhood-sized, and the collector
+	// creates two of these per message on the simulation hot path.
+	intended  []int
+	delivered []bool
 }
 
 // DeliveredFraction returns the fraction of intended receivers reached.
@@ -98,11 +102,8 @@ func (c *Collector) OnSubmit(req *sim.Request, now sim.Slot) {
 		Intended:  len(req.Dests),
 		Arrival:   req.Arrival,
 		Deadline:  req.Deadline,
-		intended:  make(map[int]bool, len(req.Dests)),
-		delivered: make(map[int]bool, len(req.Dests)),
-	}
-	for _, d := range req.Dests {
-		r.intended[d] = true
+		intended:  append([]int(nil), req.Dests...),
+		delivered: make([]bool, len(req.Dests)),
 	}
 	c.records = append(c.records, r)
 	c.byID[req.ID] = r
@@ -125,11 +126,18 @@ func (c *Collector) OnFrameTx(f *frames.Frame, sender int, now sim.Slot) {
 // OnDataRx implements sim.Observer.
 func (c *Collector) OnDataRx(msgID int64, receiver int, now sim.Slot) {
 	r := c.byID[msgID]
-	if r == nil || !r.intended[receiver] || r.delivered[receiver] {
+	if r == nil {
 		return
 	}
-	r.delivered[receiver] = true
-	r.Delivered++
+	for k, id := range r.intended {
+		if id == receiver {
+			if !r.delivered[k] {
+				r.delivered[k] = true
+				r.Delivered++
+			}
+			return
+		}
+	}
 }
 
 // OnComplete implements sim.Observer.

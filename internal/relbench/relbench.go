@@ -1,0 +1,241 @@
+// Package relbench is the benchmark-regression harness behind
+// cmd/relbench. It measures the simulator's hot path — engine slot
+// throughput on the optimized and reference paths, allocation pressure,
+// and per-protocol sweep wall time — and emits the results as the
+// machine-readable BENCH.json report. A committed BENCH_BASELINE.json
+// pins the expected numbers; Compare flags regressions beyond a
+// tolerance band.
+//
+// Absolute nanoseconds vary wildly across machines, so the regression
+// gate rests on two machine-independent quantities:
+//
+//   - the speedup ratio reference-ns-per-slot / optimized-ns-per-slot,
+//     measured back-to-back in one process — both sides see the same
+//     machine, load and compiler, so the ratio isolates the optimization
+//     layer (idle-station scheduling, the transmission free-list, the
+//     geometry caches) from the hardware;
+//   - allocations per slot on the optimized path, which the runtime
+//     counts exactly and which no scheduler jitter can perturb.
+//
+// Absolute ns/slot and wall times are recorded for humans and trend
+// dashboards but never fail the gate.
+package relbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"relmac/internal/experiments"
+)
+
+// Schema identifies the BENCH.json layout; bump on incompatible change.
+const Schema = 1
+
+// Profile names a measurement size. Quick keeps CI smoke runs in tens of
+// seconds; Full is for committed baselines and perf investigations.
+type Profile struct {
+	// Name keys the profile in baseline files ("quick", "full").
+	Name string
+	// EngineSlots is the slot count for the engine throughput pair.
+	EngineSlots int
+	// ProtocolSlots is the slot count for each per-protocol run.
+	ProtocolSlots int
+	// Reps is how many times each measurement repeats; the fastest rep
+	// wins (minimum wall time is the standard noise filter).
+	Reps int
+}
+
+// Quick is the CI smoke profile.
+var Quick = Profile{Name: "quick", EngineSlots: 120_000, ProtocolSlots: 15_000, Reps: 3}
+
+// Full is the baseline-quality profile.
+var Full = Profile{Name: "full", EngineSlots: 600_000, ProtocolSlots: 60_000, Reps: 3}
+
+// EngineSample is one measured engine configuration.
+type EngineSample struct {
+	NsPerSlot     float64 `json:"ns_per_slot"`
+	SlotsPerSec   float64 `json:"slots_per_sec"`
+	BytesPerSlot  float64 `json:"bytes_per_slot"`
+	AllocsPerSlot float64 `json:"allocs_per_slot"`
+}
+
+// Engine pairs the optimized and reference measurements.
+type Engine struct {
+	Optimized EngineSample `json:"optimized"`
+	Reference EngineSample `json:"reference"`
+	// Speedup is Reference.NsPerSlot / Optimized.NsPerSlot.
+	Speedup float64 `json:"speedup"`
+}
+
+// ProtocolSample is the wall time of one full experiments.Run.
+type ProtocolSample struct {
+	Protocol    string  `json:"protocol"`
+	Slots       int     `json:"slots"`
+	WallMs      float64 `json:"wall_ms"`
+	SlotsPerSec float64 `json:"slots_per_sec"`
+}
+
+// Report is the BENCH.json document.
+type Report struct {
+	Schema    int              `json:"schema"`
+	Profile   string           `json:"profile"`
+	GoVersion string           `json:"go"`
+	Engine    Engine           `json:"engine"`
+	Protocols []ProtocolSample `json:"protocols"`
+}
+
+// Baseline is the BENCH_BASELINE.json document: one pinned Report per
+// profile name.
+type Baseline map[string]*Report
+
+// Measure runs the full measurement suite for the profile. Progress
+// lines go through report (may be nil).
+func Measure(p Profile, report func(string)) (*Report, error) {
+	say := func(format string, args ...any) {
+		if report != nil {
+			report(fmt.Sprintf(format, args...))
+		}
+	}
+	out := &Report{Schema: Schema, Profile: p.Name, GoVersion: runtime.Version()}
+
+	say("engine throughput: optimized, %d slots x%d", p.EngineSlots, p.Reps)
+	opt, err := measureEngine(false, p.EngineSlots, p.Reps)
+	if err != nil {
+		return nil, err
+	}
+	say("engine throughput: reference, %d slots x%d", p.EngineSlots, p.Reps)
+	ref, err := measureEngine(true, p.EngineSlots, p.Reps)
+	if err != nil {
+		return nil, err
+	}
+	out.Engine = Engine{Optimized: opt, Reference: ref, Speedup: ref.NsPerSlot / opt.NsPerSlot}
+
+	for _, proto := range experiments.AllProtocols {
+		say("protocol sweep: %s, %d slots", proto, p.ProtocolSlots)
+		s, err := measureProtocol(proto, p.ProtocolSlots)
+		if err != nil {
+			return nil, err
+		}
+		out.Protocols = append(out.Protocols, s)
+	}
+	return out, nil
+}
+
+// measureEngine times the default BMMM workload (the same configuration
+// as BenchmarkEngineThroughput) and reports per-slot cost. Allocation
+// counts come from runtime.MemStats deltas around the run; setup costs
+// (topology construction, MAC attachment) are amortized over the slot
+// count and are negligible at profile sizes.
+func measureEngine(reference bool, slots, reps int) (EngineSample, error) {
+	var best EngineSample
+	for r := 0; r < reps; r++ {
+		cfg := experiments.Defaults(experiments.BMMM, 3)
+		cfg.Slots = slots
+		cfg.Reference = reference
+
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		if _, err := experiments.Run(cfg); err != nil {
+			return EngineSample{}, err
+		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+
+		s := EngineSample{
+			NsPerSlot:     float64(wall.Nanoseconds()) / float64(slots),
+			SlotsPerSec:   float64(slots) / wall.Seconds(),
+			BytesPerSlot:  float64(after.TotalAlloc-before.TotalAlloc) / float64(slots),
+			AllocsPerSlot: float64(after.Mallocs-before.Mallocs) / float64(slots),
+		}
+		if r == 0 || s.NsPerSlot < best.NsPerSlot {
+			best = s
+		}
+	}
+	return best, nil
+}
+
+// measureProtocol times one experiments.Run of the protocol at default
+// settings.
+func measureProtocol(proto experiments.Protocol, slots int) (ProtocolSample, error) {
+	cfg := experiments.Defaults(proto, 3)
+	cfg.Slots = slots
+	start := time.Now()
+	if _, err := experiments.Run(cfg); err != nil {
+		return ProtocolSample{}, err
+	}
+	wall := time.Since(start)
+	return ProtocolSample{
+		Protocol:    string(proto),
+		Slots:       slots,
+		WallMs:      float64(wall.Nanoseconds()) / 1e6,
+		SlotsPerSec: float64(slots) / wall.Seconds(),
+	}, nil
+}
+
+// Compare checks a fresh report against the baseline entry for its
+// profile and returns one message per regression; an empty slice means
+// the gate passes. tolerance is the allowed fractional slack (0.25 =
+// 25%). A missing profile entry is not a regression — it returns a
+// single advisory message and no failure — so fresh profiles can be
+// introduced before their baselines are committed.
+func Compare(r *Report, base Baseline, tolerance float64) (regressions []string, advisories []string) {
+	pin, ok := base[r.Profile]
+	if !ok {
+		return nil, []string{fmt.Sprintf("no %q entry in baseline; comparison skipped", r.Profile)}
+	}
+	if pin.Schema != r.Schema {
+		return nil, []string{fmt.Sprintf("baseline schema %d != current %d; comparison skipped", pin.Schema, r.Schema)}
+	}
+
+	minSpeedup := pin.Engine.Speedup * (1 - tolerance)
+	if r.Engine.Speedup < minSpeedup {
+		regressions = append(regressions, fmt.Sprintf(
+			"engine speedup %.2fx below baseline %.2fx - %.0f%% = %.2fx",
+			r.Engine.Speedup, pin.Engine.Speedup, tolerance*100, minSpeedup))
+	}
+	// Allocation counts are exact; the tolerance plus a small absolute
+	// floor absorbs runtime-version drift in background allocations.
+	maxAllocs := pin.Engine.Optimized.AllocsPerSlot*(1+tolerance) + 0.25
+	if r.Engine.Optimized.AllocsPerSlot > maxAllocs {
+		regressions = append(regressions, fmt.Sprintf(
+			"optimized allocs/slot %.2f above baseline %.2f + %.0f%% = %.2f",
+			r.Engine.Optimized.AllocsPerSlot, pin.Engine.Optimized.AllocsPerSlot, tolerance*100, maxAllocs))
+	}
+	advisories = append(advisories, fmt.Sprintf(
+		"ns/slot optimized %.0f (baseline %.0f), reference %.0f (baseline %.0f) - informational, machine-dependent",
+		r.Engine.Optimized.NsPerSlot, pin.Engine.Optimized.NsPerSlot,
+		r.Engine.Reference.NsPerSlot, pin.Engine.Reference.NsPerSlot))
+	return regressions, advisories
+}
+
+// LoadBaseline reads a BENCH_BASELINE.json. A missing file yields an
+// empty baseline (every comparison becomes advisory), so the harness
+// bootstraps cleanly in a repo that has not committed numbers yet.
+func LoadBaseline(path string) (Baseline, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return Baseline{}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("relbench: parse %s: %w", path, err)
+	}
+	return b, nil
+}
+
+// WriteReport writes the report as indented JSON.
+func WriteReport(path string, r *Report) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

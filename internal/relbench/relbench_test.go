@@ -1,0 +1,106 @@
+package relbench
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// tiny is a test-sized profile so the suite stays fast.
+var tiny = Profile{Name: "tiny", EngineSlots: 1500, ProtocolSlots: 400, Reps: 1}
+
+func TestMeasureProducesCompleteReport(t *testing.T) {
+	r, err := Measure(tiny, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Schema != Schema || r.Profile != "tiny" || r.GoVersion == "" {
+		t.Fatalf("bad header: %+v", r)
+	}
+	if r.Engine.Optimized.NsPerSlot <= 0 || r.Engine.Reference.NsPerSlot <= 0 {
+		t.Fatalf("non-positive timings: %+v", r.Engine)
+	}
+	if r.Engine.Speedup <= 0 {
+		t.Fatalf("bad speedup: %v", r.Engine.Speedup)
+	}
+	if len(r.Protocols) != 5 {
+		t.Fatalf("want 5 protocol samples, got %d", len(r.Protocols))
+	}
+	for _, p := range r.Protocols {
+		if p.WallMs <= 0 || p.SlotsPerSec <= 0 {
+			t.Fatalf("bad protocol sample: %+v", p)
+		}
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	pin := &Report{
+		Schema:  Schema,
+		Profile: "quick",
+		Engine: Engine{
+			Optimized: EngineSample{NsPerSlot: 1000, AllocsPerSlot: 1},
+			Reference: EngineSample{NsPerSlot: 2000},
+			Speedup:   2.0,
+		},
+	}
+	base := Baseline{"quick": pin}
+
+	ok := &Report{Schema: Schema, Profile: "quick", Engine: Engine{
+		Optimized: EngineSample{NsPerSlot: 3000, AllocsPerSlot: 1.1},
+		Reference: EngineSample{NsPerSlot: 5700},
+		Speedup:   1.9,
+	}}
+	if regs, _ := Compare(ok, base, 0.25); len(regs) != 0 {
+		t.Fatalf("within-tolerance report flagged: %v", regs)
+	}
+
+	slow := &Report{Schema: Schema, Profile: "quick", Engine: Engine{
+		Optimized: EngineSample{NsPerSlot: 2000, AllocsPerSlot: 1},
+		Reference: EngineSample{NsPerSlot: 2400},
+		Speedup:   1.2,
+	}}
+	if regs, _ := Compare(slow, base, 0.25); len(regs) != 1 {
+		t.Fatalf("speedup regression not flagged: %v", regs)
+	}
+
+	leaky := &Report{Schema: Schema, Profile: "quick", Engine: Engine{
+		Optimized: EngineSample{NsPerSlot: 1000, AllocsPerSlot: 3},
+		Reference: EngineSample{NsPerSlot: 2000},
+		Speedup:   2.0,
+	}}
+	if regs, _ := Compare(leaky, base, 0.25); len(regs) != 1 {
+		t.Fatalf("alloc regression not flagged: %v", regs)
+	}
+
+	foreign := &Report{Schema: Schema, Profile: "full"}
+	regs, advs := Compare(foreign, base, 0.25)
+	if len(regs) != 0 || len(advs) != 1 {
+		t.Fatalf("missing-profile should be advisory: regs=%v advs=%v", regs, advs)
+	}
+}
+
+func TestBaselineRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH.json")
+	r := &Report{Schema: Schema, Profile: "quick",
+		Engine: Engine{Speedup: 2.0, Optimized: EngineSample{NsPerSlot: 1}}}
+	if err := WriteReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	// A report file doubles as a single-profile baseline when wrapped;
+	// here exercise LoadBaseline on the committed map layout.
+	if err := os.WriteFile(path, []byte(`{"quick":{"schema":1,"profile":"quick","go":"go1.24","engine":{"optimized":{"ns_per_slot":1,"slots_per_sec":1,"bytes_per_slot":1,"allocs_per_slot":1},"reference":{"ns_per_slot":2,"slots_per_sec":1,"bytes_per_slot":1,"allocs_per_slot":1},"speedup":2},"protocols":null}}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b["quick"] == nil || b["quick"].Engine.Speedup != 2 {
+		t.Fatalf("round trip lost data: %+v", b)
+	}
+	empty, err := LoadBaseline(filepath.Join(dir, "missing.json"))
+	if err != nil || len(empty) != 0 {
+		t.Fatalf("missing baseline should be empty: %v %v", empty, err)
+	}
+}

@@ -26,6 +26,16 @@
 //
 // The engine is deterministic for a fixed seed: stations are ticked in ID
 // order and all randomness flows from a single PRNG.
+//
+// # Hot path
+//
+// The engine carries several optimizations that change no output bit:
+// idle-station scheduling (MACs implementing Sleeper are skipped while
+// quiescent and resynchronised on wake), a deterministic free-list for
+// transmission records, and per-neighbor distance tables captured at
+// transmission start instead of per-collision sqrt calls. All of them are
+// gated by Config.Reference, which forces the original naive path; the
+// equivalence tests drive both paths to identical transcripts.
 package sim
 
 import (
@@ -140,8 +150,36 @@ type MAC interface {
 	Submit(env *Env, req *Request)
 }
 
+// Sleeper is the optional MAC extension behind idle-station scheduling.
+// A MAC that implements it is skipped by the engine while quiescent: no
+// Tick calls, hence no per-slot carrier-sense bookkeeping for the ~90% of
+// stations that have nothing to do in a typical run. This is safe for
+// bit-identity only because a quiescent MAC's Tick draws no randomness
+// from the engine PRNG and its only per-slot state — the idle-run counter
+// behind the DIFS rule — is a pure function of the channel history, which
+// the engine tracks for every station anyway and hands back through Wake.
+//
+// The engine wakes a sleeping station when a request is submitted to it
+// and when it decodes a frame; everything else that can change MAC state
+// flows through those two entry points.
+type Sleeper interface {
+	// Quiescent reports whether the MAC has no pending work at or after
+	// the given slot: nothing in service, nothing queued, no response
+	// scheduled. A quiescent MAC's Tick must be a no-op apart from
+	// carrier-sense observation and must not touch the engine PRNG.
+	Quiescent(after Slot) bool
+	// Wake is called right before the first Tick after a stretch of
+	// skipped slots. idleRun is the number of consecutive slots the
+	// station's carrier was idle up to and including the previous slot —
+	// exactly the value its channel history would hold had it observed
+	// every skipped slot.
+	Wake(idleRun int)
+}
+
 // Source generates traffic. Arrivals is called once per slot per
-// simulation and returns the requests arriving at that slot.
+// simulation and returns the requests arriving at that slot. The engine
+// consumes the returned slice before the next call, so implementations
+// may reuse its backing array; only the requests themselves must survive.
 type Source interface {
 	Arrivals(now Slot, rng *rand.Rand) []*Request
 }
@@ -261,9 +299,18 @@ type Config struct {
 	// traffic arrivals and MAC ticks. Mobility drivers use it to advance
 	// node positions and swap refreshed topologies in.
 	SlotHook func(now Slot, e *Engine)
+	// Reference disables the engine's hot-path optimizations —
+	// idle-station scheduling, the transmission free-list and the cached
+	// per-neighbor distances — and runs the original naive resolution
+	// path. Output is bit-identical either way; the reference path exists
+	// so the equivalence tests can prove it and cmd/relbench can measure
+	// the gap.
+	Reference bool
 }
 
-// transmission is one frame in the air.
+// transmission is one frame in the air. Records are recycled through the
+// engine's free-list (LIFO, hence deterministic); completeSlot clears the
+// pointer fields before recycling so retained frames stay collectable.
 type transmission struct {
 	frame     *frames.Frame
 	sender    int
@@ -271,6 +318,13 @@ type transmission struct {
 	end       Slot   // inclusive last slot
 	receivers []int  // in-range stations, sorted
 	corrupt   []bool // parallel to receivers
+	// ndists are the sender→receiver distances parallel to receivers,
+	// shared with the topology's precomputed table; valid only while
+	// topoGen matches the engine's. After a mid-flight topology swap the
+	// resolver falls back to live distance queries, preserving the
+	// pre-cache semantics exactly.
+	ndists  []float64
+	topoGen uint64
 }
 
 // Engine is the slotted channel simulator.
@@ -298,7 +352,45 @@ type Engine struct {
 	sigTx   [][]int32 // per station: indices into active
 	sigRx   [][]int32 // per station: receiver index within that transmission
 	dists   []float64
-	busyNow []bool // per-station carrier sense, precomputed once per slot
+	touched []int // stations with ≥1 signal this slot
+
+	// Carrier sense is epoch-stamped rather than cleared: station i
+	// senses the medium busy at the current slot iff busyStamp[i] == now,
+	// so computeBusy only touches the neighbors of ongoing transmitters
+	// instead of wiping an O(stations) array every slot. prevBusy[i] is
+	// the busy slot preceding busyStamp[i]; together they answer "most
+	// recent busy slot ≤ now-1", the quantity Wake's idle-run
+	// reconstruction needs even when the wake slot itself is busy.
+	busyStamp []Slot
+	prevBusy  []Slot
+
+	// txFree is the deterministic free-list recycling transmission
+	// records (and their corrupt slices) — a sync.Pool would be faster to
+	// write but is banned on the sim path (relmaclint: simsafe) because
+	// its reuse order depends on the scheduler.
+	txFree []*transmission
+	// topoGen counts SetTopology swaps; cached per-transmission distance
+	// tables are only trusted while their generation matches.
+	topoGen uint64
+
+	// Idle-station scheduling (see Sleeper). sleepers[i] is non-nil iff
+	// macs[i] implements Sleeper; asleep marks stations currently skipped
+	// by the tick loop; resync marks freshly woken stations whose channel
+	// history must be restored before their next Tick.
+	sleepOK  bool
+	sleepers []Sleeper
+	asleep   []bool
+	resync   []bool
+	// awake is the tick loop's worklist: the station IDs that were awake
+	// at the last rebuild, in ascending ID order. Stations that fell
+	// asleep since linger until the next rebuild and are filtered by the
+	// asleep check; awakeDirty forces a rebuild whenever a station wakes
+	// or the MAC set changes, so no awake station is ever missed.
+	awake      []int
+	awakeDirty bool
+
+	// reference pins the naive path (Config.Reference).
+	reference bool
 }
 
 // New builds an Engine from the configuration. MACs must be attached with
@@ -339,22 +431,39 @@ func New(cfg Config) *Engine {
 		txBusyUntil: make([]Slot, n),
 		sigTx:       make([][]int32, n),
 		sigRx:       make([][]int32, n),
-		busyNow:     make([]bool, n),
+		busyStamp:   make([]Slot, n),
+		prevBusy:    make([]Slot, n),
+		sleepers:    make([]Sleeper, n),
+		asleep:      make([]bool, n),
+		resync:      make([]bool, n),
+		awake:       make([]int, 0, n),
+		awakeDirty:  true,
+		reference:   cfg.Reference,
+		// Idle-skip stays off under an impairment: a crashed station's
+		// MAC is not ticked while down, so its channel history freezes —
+		// a gap the continuous lastBusy reconstruction cannot reproduce.
+		sleepOK: !cfg.Reference && cfg.Impairment == nil,
 	}
 	for i := 0; i < n; i++ {
 		e.envs[i] = Env{engine: e, node: i}
 		e.txBusyUntil[i] = -1
+		e.busyStamp[i] = -1
+		e.prevBusy[i] = -1
 	}
 	return e
 }
 
 // SetMAC installs the MAC state machine for station i.
-func (e *Engine) SetMAC(i int, m MAC) { e.macs[i] = m }
+func (e *Engine) SetMAC(i int, m MAC) {
+	e.macs[i] = m
+	e.sleepers[i], _ = m.(Sleeper)
+	e.awakeDirty = true
+}
 
 // AttachMACs installs a MAC for every station using the factory.
 func (e *Engine) AttachMACs(factory func(node int, env *Env) MAC) {
 	for i := range e.macs {
-		e.macs[i] = factory(i, &e.envs[i])
+		e.SetMAC(i, factory(i, &e.envs[i]))
 	}
 }
 
@@ -374,6 +483,7 @@ func (e *Engine) SetTopology(tp *topo.Topology) {
 		panic("sim: SetTopology must preserve the station count")
 	}
 	e.topo = tp
+	e.topoGen++
 }
 
 // Timing returns the frame airtimes in use.
@@ -413,6 +523,7 @@ func (e *Engine) step(src Source) {
 			if m == nil {
 				panic(fmt.Sprintf("sim: no MAC attached to station %d", req.Src))
 			}
+			e.wake(req.Src)
 			e.observer.OnSubmit(req, now)
 			m.Submit(&e.envs[req.Src], req)
 		}
@@ -420,19 +531,45 @@ func (e *Engine) step(src Source) {
 
 	// 2. Tick every MAC; collect new transmissions. Carrier sense views
 	// only transmissions started in earlier slots, which are exactly the
-	// ones already in e.active.
-	for i, m := range e.macs {
-		if m == nil {
+	// ones already in e.active. Sleeping stations are skipped wholesale;
+	// the awake worklist is built — and stale entries filtered — in
+	// station-ID order, so the surviving ticks — and with them every PRNG
+	// draw — happen in exactly the order the naive loop produces.
+	if e.awakeDirty {
+		e.awakeDirty = false
+		e.awake = e.awake[:0]
+		for i, m := range e.macs {
+			if m != nil && !e.asleep[i] {
+				e.awake = append(e.awake, i)
+			}
+		}
+	}
+	for _, i := range e.awake {
+		if e.asleep[i] {
 			continue
 		}
+		m := e.macs[i]
 		// A crashed station is silent: no frame, no CTS/ACK response, no
 		// backoff countdown. Its queued requests keep aging toward their
 		// deadlines and its MAC state resumes intact on recovery.
 		if e.imp != nil && e.imp.Down(i, now) {
 			continue
 		}
+		if e.resync[i] {
+			e.resync[i] = false
+			last := e.busyStamp[i]
+			if last >= now {
+				// Busy in the wake slot itself; the idle run ends at the
+				// busy slot before it.
+				last = e.prevBusy[i]
+			}
+			e.sleepers[i].Wake(int(now - 1 - last))
+		}
 		f := m.Tick(&e.envs[i])
 		if f == nil {
+			if e.sleepOK && e.sleepers[i] != nil && e.sleepers[i].Quiescent(now+1) {
+				e.asleep[i] = true
+			}
 			continue
 		}
 		if e.txBusyUntil[i] >= now {
@@ -450,19 +587,48 @@ func (e *Engine) step(src Source) {
 	e.now++
 }
 
+// wake returns a sleeping station to the tick loop and schedules its
+// channel-history resync. Idempotent for stations already awake.
+func (e *Engine) wake(i int) {
+	if e.asleep[i] {
+		e.asleep[i] = false
+		e.resync[i] = true
+		e.awakeDirty = true
+	}
+}
+
 // startTx registers a transmission beginning at the current slot.
 func (e *Engine) startTx(sender int, f *frames.Frame) {
 	// The radio, not the MAC, is the authority on who transmitted.
 	f.Src = frames.Addr(sender)
 	air := e.timing.Airtime(f.Type)
 	nb := e.topo.Neighbors(sender)
-	tx := &transmission{
-		frame:     f,
-		sender:    sender,
-		start:     e.now,
-		end:       e.now + Slot(air) - 1,
-		receivers: nb,
-		corrupt:   make([]bool, len(nb)),
+	var tx *transmission
+	if n := len(e.txFree); n > 0 {
+		tx = e.txFree[n-1]
+		e.txFree[n-1] = nil
+		e.txFree = e.txFree[:n-1]
+	} else {
+		tx = &transmission{}
+	}
+	tx.frame = f
+	tx.sender = sender
+	tx.start = e.now
+	tx.end = e.now + Slot(air) - 1
+	tx.receivers = nb
+	if cap(tx.corrupt) >= len(nb) {
+		tx.corrupt = tx.corrupt[:len(nb)]
+		for i := range tx.corrupt {
+			tx.corrupt[i] = false
+		}
+	} else {
+		tx.corrupt = make([]bool, len(nb))
+	}
+	if e.reference {
+		tx.ndists = nil
+	} else {
+		tx.ndists = e.topo.NeighborDists(sender)
+		tx.topoGen = e.topoGen
 	}
 	e.active = append(e.active, tx)
 	e.txBusyUntil[sender] = tx.end
@@ -475,7 +641,7 @@ func (e *Engine) startTx(sender int, f *frames.Frame) {
 // resolveSlot marks corruption for all signals overlapping this slot.
 func (e *Engine) resolveSlot() {
 	now := e.now
-	var touchedNodes []int
+	touchedNodes := e.touched[:0]
 	for ti, tx := range e.active {
 		if tx.start > now || tx.end < now {
 			continue
@@ -500,9 +666,19 @@ func (e *Engine) resolveSlot() {
 			// Clean slot for this frame at this receiver.
 		default:
 			// Collision: ask the capture model which signal survives.
+			// Distances come from the table captured at transmission
+			// start; Dist is symmetric (math.Hypot of the same deltas),
+			// so tx.ndists[ri] is bit-for-bit the e.topo.Dist(j, sender)
+			// the naive path computes. The live query remains for
+			// transmissions launched under a topology since swapped out.
 			e.dists = e.dists[:0]
-			for _, ti := range sigs {
-				e.dists = append(e.dists, e.topo.Dist(j, e.active[ti].sender))
+			for k, ti := range sigs {
+				tx := e.active[ti]
+				if tx.ndists != nil && tx.topoGen == e.topoGen {
+					e.dists = append(e.dists, tx.ndists[e.sigRx[j][k]])
+				} else {
+					e.dists = append(e.dists, e.topo.Dist(j, tx.sender))
+				}
 			}
 			win := e.capture.Resolve(e.dists, e.rng.Float64())
 			for k, ti := range sigs {
@@ -514,6 +690,7 @@ func (e *Engine) resolveSlot() {
 		e.sigTx[j] = e.sigTx[j][:0]
 		e.sigRx[j] = e.sigRx[j][:0]
 	}
+	e.touched = touchedNodes[:0]
 }
 
 // completeSlot delivers every frame whose last slot is the current one.
@@ -554,7 +731,23 @@ func (e *Engine) completeSlot() {
 			}
 			if m := e.macs[j]; m != nil {
 				m.Deliver(&e.envs[j], tx.frame)
+				// A sleeping receiver stays asleep unless the frame left
+				// it something to do — a scheduled response, typically.
+				// NAV-only overhears keep it in bed: the NAV is a pure
+				// function of the current slot when next consulted.
+				if e.asleep[j] && !e.sleepers[j].Quiescent(now+1) {
+					e.wake(j)
+				}
 			}
+		}
+		// The record is done: break the references it holds and recycle
+		// it. The frame itself is never pooled — MACs, observers and
+		// tracers may retain it indefinitely.
+		tx.frame = nil
+		tx.receivers = nil
+		tx.ndists = nil
+		if !e.reference {
+			e.txFree = append(e.txFree, tx)
 		}
 	}
 	// Zero dropped tail so transmissions can be collected.
@@ -564,18 +757,20 @@ func (e *Engine) completeSlot() {
 	e.active = kept
 }
 
-// computeBusy fills busyNow for the current slot by marking the
-// neighbors of every ongoing transmitter — O(active × degree) instead of
-// O(stations × active) per slot.
+// computeBusy stamps the current slot onto the neighbors of every
+// ongoing transmitter — O(active × degree) per slot, with no per-station
+// clearing pass. The stamps double as the busy/idle series behind Wake's
+// idle-run reconstruction, maintained for every station whether it ticks
+// or sleeps.
 func (e *Engine) computeBusy() {
-	for i := range e.busyNow {
-		e.busyNow[i] = false
-	}
 	now := e.now
 	for _, tx := range e.active {
 		if tx.start < now && tx.end >= now {
 			for _, j := range e.topo.Neighbors(tx.sender) {
-				e.busyNow[j] = true
+				if e.busyStamp[j] != now {
+					e.prevBusy[j] = e.busyStamp[j]
+					e.busyStamp[j] = now
+				}
 			}
 		}
 	}
@@ -583,4 +778,4 @@ func (e *Engine) computeBusy() {
 
 // carrierBusy reports whether station i senses energy from another
 // station's transmission that started before the current slot.
-func (e *Engine) carrierBusy(i int) bool { return e.busyNow[i] }
+func (e *Engine) carrierBusy(i int) bool { return e.busyStamp[i] == e.now }

@@ -1,0 +1,57 @@
+package topo
+
+// Bit-identity of the precomputed per-neighbor distance table against
+// the live Dist computation — the invariant that lets the engine's
+// collision resolution use cached distances without drifting a single
+// output bit.
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestNeighborDistsBitIdenticalToDist(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		tp := Uniform(60, 0.25, rand.New(rand.NewSource(seed)))
+		for i := 0; i < tp.N(); i++ {
+			nb := tp.Neighbors(i)
+			nd := tp.NeighborDists(i)
+			if len(nd) != len(nb) {
+				t.Fatalf("seed %d node %d: %d dists for %d neighbors", seed, i, len(nd), len(nb))
+			}
+			for k, j := range nb {
+				// Exact float equality is the point: the cache must hold
+				// the very bits Dist computes, in neighbor order.
+				if nd[k] != tp.Dist(i, j) {
+					t.Fatalf("seed %d: NeighborDists(%d)[%d] = %v, Dist(%d,%d) = %v",
+						seed, i, k, nd[k], i, j, tp.Dist(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestNeighborDistsSymmetric(t *testing.T) {
+	// geom.Point.Dist is math.Hypot, which works on absolute deltas, so
+	// Dist(i,j) and Dist(j,i) are the same bits; the table must inherit
+	// that symmetry.
+	tp := Uniform(40, 0.3, rand.New(rand.NewSource(7)))
+	for i := 0; i < tp.N(); i++ {
+		for k, j := range tp.Neighbors(i) {
+			var back float64
+			found := false
+			for kk, jj := range tp.Neighbors(j) {
+				if jj == i {
+					back = tp.NeighborDists(j)[kk]
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("asymmetric neighbor sets: %d has %d but not vice versa", i, j)
+			}
+			if tp.NeighborDists(i)[k] != back {
+				t.Fatalf("dist(%d,%d) %v != dist(%d,%d) %v", i, j, tp.NeighborDists(i)[k], j, i, back)
+			}
+		}
+	}
+}

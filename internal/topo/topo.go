@@ -20,6 +20,11 @@ type Topology struct {
 	radius    float64
 	pos       []geom.Point
 	neighbors [][]int
+	// neighborDist[i] holds the distances to neighbors[i], index-parallel.
+	// Precomputed with the same geom.Point.Dist the live Dist method uses,
+	// so the cached values are bit-identical to on-demand queries — the
+	// engine's collision resolver depends on that to stay reproducible.
+	neighborDist [][]float64
 }
 
 // FromPoints builds a topology from explicit positions. The radius must be
@@ -141,6 +146,17 @@ func (t *Topology) buildNeighbors() {
 		}
 		sortInts(t.neighbors[i])
 	}
+	t.neighborDist = make([][]float64, n)
+	for i, nb := range t.neighbors {
+		if len(nb) == 0 {
+			continue
+		}
+		d := make([]float64, len(nb))
+		for k, j := range nb {
+			d[k] = t.pos[i].Dist(t.pos[j])
+		}
+		t.neighborDist[i] = d
+	}
 }
 
 // N returns the number of stations.
@@ -161,6 +177,12 @@ func (t *Topology) Positions() []geom.Point {
 // increasing order. The returned slice is shared; callers must not modify
 // it.
 func (t *Topology) Neighbors(i int) []int { return t.neighbors[i] }
+
+// NeighborDists returns the distances from station i to each of its
+// neighbors, index-parallel to Neighbors(i). The values are bit-identical
+// to calling Dist for each pair. The returned slice is shared; callers
+// must not modify it.
+func (t *Topology) NeighborDists(i int) []float64 { return t.neighborDist[i] }
 
 // Degree returns the number of neighbors of station i.
 func (t *Topology) Degree(i int) int { return len(t.neighbors[i]) }

@@ -60,6 +60,10 @@ type Generator struct {
 	Timeout int
 
 	nextID int64
+	// buf is the reused Arrivals result slice. The engine consumes the
+	// returned requests before the next Arrivals call (the sim.Source
+	// contract), so only the requests — not the slice — must survive.
+	buf []*sim.Request
 }
 
 // NewGenerator builds a Generator with the paper's defaults (rate
@@ -70,7 +74,7 @@ func NewGenerator(tp *topo.Topology) *Generator {
 
 // Arrivals implements sim.Source.
 func (g *Generator) Arrivals(now sim.Slot, rng *rand.Rand) []*sim.Request {
-	var out []*sim.Request
+	out := g.buf[:0]
 	for node := 0; node < g.Topo.N(); node++ {
 		if rng.Float64() >= g.Rate {
 			continue
@@ -80,6 +84,7 @@ func (g *Generator) Arrivals(now sim.Slot, rng *rand.Rand) []*sim.Request {
 			out = append(out, req)
 		}
 	}
+	g.buf = out
 	return out
 }
 
