@@ -7,6 +7,8 @@
 // Usage:
 //
 //	analysis [-maxn N] [-p P] [-q Q] [-mc trials] [-seed S]
+//	analysis -drift 6              # observed-vs-closed-form drift table
+//	analysis -drift 6 -driftslots 5000
 package main
 
 import (
@@ -27,6 +29,8 @@ func main() {
 	q := flag.Float64("q", 0.05, "per-receiver CTS-miss probability (Table 1)")
 	mc := flag.Int("mc", 50000, "Monte-Carlo trials validating f_n (0 disables)")
 	seed := flag.Int64("seed", 1, "RNG seed for the Monte-Carlo column")
+	drift := flag.Int("drift", 0, "simulation runs per protocol for the analytic-drift table on the Figure 6 config (0 disables; gated in tests at |rel_err| <= experiments.DriftTolerance)")
+	driftSlots := flag.Int("driftslots", 5000, "simulated slots per drift run")
 	flag.Parse()
 
 	experiments.TableOne().Render(os.Stdout)
@@ -43,6 +47,15 @@ func main() {
 	extra.Render(os.Stdout)
 
 	fig5Table(*maxN, *p, *mc, *seed).Render(os.Stdout)
+
+	if *drift > 0 {
+		tb, _, err := experiments.Drift(experiments.Options{Runs: *drift, Slots: *driftSlots})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tb.Render(os.Stdout)
+	}
 }
 
 // fig5Table builds the Figure 5 series. The Monte-Carlo validation

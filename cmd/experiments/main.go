@@ -19,6 +19,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"path/filepath"
@@ -27,6 +28,7 @@ import (
 
 	"relmac/internal/experiments"
 	"relmac/internal/fault"
+	"relmac/internal/obs"
 	"relmac/internal/report"
 
 	_ "net/http/pprof"
@@ -34,7 +36,7 @@ import (
 
 func main() {
 	exp := flag.String("exp", "all",
-		"comma-separated experiments: table1,fig2,fig5,fig6a,fig6b,fig7,fig8,fig9a,fig9b,fig10a,fig10b,density,rate,all, plus extensions: mobility,gpserr,overhead,fault,faultburst")
+		"comma-separated experiments: table1,fig2,fig5,fig6a,fig6b,fig7,fig8,fig9a,fig9b,fig10a,fig10b,density,rate,all, plus extensions: mobility,gpserr,overhead,fault,faultburst,drift")
 	runs := flag.Int("runs", 10, "simulation runs per plotted point (paper: 100)")
 	slots := flag.Int("slots", 10000, "simulated slots per run")
 	out := flag.String("out", "results", "directory for CSV output (empty disables)")
@@ -45,6 +47,7 @@ func main() {
 	geSpec := flag.String("ge", "", "fault: Gilbert–Elliott bursty channel, pGoodBad:pBadGood:perBad[:perGood]")
 	crashSpec := flag.String("crash", "", "fault: node crash schedule, mttf:mttr in slots")
 	locNoise := flag.Float64("locnoise", 0, "fault: stddev of the Gaussian location error LAMM sees")
+	listen := flag.String("listen", "", "serve live sweep metrics on this address (e.g. :9090): /metrics is Prometheus text (airtime ledger + sweep progress/ETA gauges), /snapshot is JSON")
 	flag.Parse()
 
 	faultCfg := fault.Config{PER: *per, LocNoise: *locNoise}
@@ -72,6 +75,38 @@ func main() {
 			}
 		}()
 		fmt.Fprintf(os.Stderr, "pprof listening on %s\n", *pprofAddr)
+	}
+	if *listen != "" {
+		// Live export: every sweep run gets a fresh airtime ledger (the
+		// registry counters pool across runs per protocol prefix), and the
+		// sweep worker pool reports progress into a SweepStatus the
+		// endpoint reads as gauges. Both hooks are snapshotted at Sweep
+		// entry, so they are installed once, up front.
+		reg := obs.NewRegistry()
+		msrv := obs.NewMetricsServer(reg)
+		st := &experiments.SweepStatus{}
+		experiments.Progress.Status = st
+		msrv.Gauge("sweep.progress", st.Fraction)
+		msrv.Gauge("sweep.eta_seconds", st.ETASeconds)
+		msrv.Gauge("sweep.elapsed_seconds", st.ElapsedSeconds)
+		msrv.Extra("sweep", func() any { return st.Snapshot() })
+		experiments.Instrument = func(cfg *experiments.RunConfig) {
+			led := obs.NewLedger(reg, string(cfg.Protocol))
+			cfg.Observers = append(cfg.Observers, led)
+			cfg.SlotObservers = append(cfg.SlotObservers, led)
+			msrv.AddLedger(string(cfg.Protocol), led)
+		}
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		go func() {
+			if err := http.Serve(ln, msrv.Handler()); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "metrics listening on http://%s\n", ln.Addr())
 	}
 
 	o := experiments.Options{Runs: *runs, Slots: *slots, Fault: faultCfg}
@@ -187,6 +222,13 @@ func main() {
 		fail(err)
 		fmt.Printf("(fault burst sweep: %v)\n", time.Since(start).Round(time.Second))
 		emit(tb, "fault_burst.csv")
+	}
+	if want["drift"] {
+		start := time.Now()
+		tb, _, err := experiments.Drift(o)
+		fail(err)
+		fmt.Printf("(drift run: %v)\n", time.Since(start).Round(time.Second))
+		emit(tb, "drift.csv")
 	}
 	if want["gpserr"] {
 		start := time.Now()

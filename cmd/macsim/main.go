@@ -10,6 +10,8 @@
 //	macsim -protocol BMMM -trace out.json       # Chrome trace for Perfetto
 //	macsim -protocol BMMM -trace out.jsonl      # JSONL event log
 //	macsim -protocol all -stats -pprof :6060
+//	macsim -protocol all -ledger airtime.json  # slot-accurate airtime ledger + drift
+//	macsim -protocol BMMM -listen :9090 -hold  # live /metrics + /snapshot endpoints
 //	macsim -protocol BMMM -per 0.1 -stats       # 10% i.i.d. frame loss
 //	macsim -protocol LAMM -ge 0.01:0.1:0.8      # bursty (Gilbert–Elliott) links
 //	macsim -protocol all -crash 2000:200        # node crash/recover schedules
@@ -17,12 +19,16 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"strings"
+	"sync"
 
+	"relmac/internal/analysis"
 	"relmac/internal/capture"
 	"relmac/internal/chart"
 	"relmac/internal/experiments"
@@ -58,6 +64,9 @@ func main() {
 	geSpec := flag.String("ge", "", "fault: Gilbert–Elliott bursty channel, pGoodBad:pBadGood:perBad[:perGood]")
 	crashSpec := flag.String("crash", "", "fault: node crash schedule, mttf:mttr in slots")
 	locNoise := flag.Float64("locnoise", 0, "fault: stddev of the Gaussian location error LAMM sees (unit-square units)")
+	ledgerFile := flag.String("ledger", "", "attach the airtime ledger and drift monitor, print the per-category breakdown, and write the JSON report to this file (\"-\" for stdout)")
+	listen := flag.String("listen", "", "serve live metrics on this address (e.g. :9090): /metrics is Prometheus text, /snapshot is JSON; implies the airtime ledger")
+	hold := flag.Bool("hold", false, "with -listen: keep serving after the runs complete until interrupted")
 	flag.Parse()
 
 	faultCfg := fault.Config{PER: *per, LocNoise: *locNoise}
@@ -128,15 +137,48 @@ func main() {
 			*runs = 1
 		}
 	}
+	ledgerOn := *ledgerFile != "" || *listen != ""
 	var reg *obs.Registry
-	if *stats {
+	if *stats || ledgerOn {
 		reg = obs.NewRegistry()
+	}
+
+	// Drift accumulators merge across runs per protocol; the closure is
+	// shared with the live /snapshot endpoint, so it takes the lock.
+	var driftMu sync.Mutex
+	driftAccums := make(map[string]*analysis.DriftAccum)
+	driftSummaries := func() map[string]analysis.DriftSummary {
+		driftMu.Lock()
+		defer driftMu.Unlock()
+		out := make(map[string]analysis.DriftSummary, len(driftAccums))
+		for name, acc := range driftAccums {
+			out[name] = acc.Summary()
+		}
+		return out
+	}
+
+	var msrv *obs.MetricsServer
+	if *listen != "" {
+		msrv = obs.NewMetricsServer(reg)
+		msrv.Extra("drift", func() any { return driftSummaries() })
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		go func() {
+			if err := http.Serve(ln, msrv.Handler()); err != nil {
+				fmt.Fprintf(os.Stderr, "metrics server: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "metrics listening on http://%s\n", ln.Addr())
 	}
 
 	tb := report.NewTable(
 		fmt.Sprintf("macsim: %d nodes, r=%g, %d slots, rate=%g, timeout=%d, capture=%s, %d run(s)",
 			*nodes, *radius, *slots, *rate, *timeout, capModel.Name(), *runs),
 		"protocol", "messages", "delivery rate", "avg contentions", "avg completion", "delivered frac")
+	ledgers := make(map[string]*obs.Ledger)
 	for _, p := range protos {
 		var agg metrics.SummaryStats
 		var st *obs.Stats
@@ -156,6 +198,21 @@ func main() {
 			if st != nil {
 				cfg.Observers = append(cfg.Observers, st)
 			}
+			var dm *obs.DriftMonitor
+			if ledgerOn {
+				// Fresh ledger per run; sharing the registry prefix makes
+				// the counters accumulate across runs, and the snapshot
+				// endpoint keeps serving the latest instance mid-loop.
+				led := obs.NewLedger(reg, string(p))
+				cfg.Observers = append(cfg.Observers, led)
+				cfg.SlotObservers = append(cfg.SlotObservers, led)
+				ledgers[string(p)] = led
+				if msrv != nil {
+					msrv.AddLedger(string(p), led)
+				}
+				dm = obs.NewDriftMonitor(analysis.RoundModelFor(string(p)))
+				cfg.Observers = append(cfg.Observers, dm)
+			}
 			var tracer *obs.Tracer
 			if *traceFile != "" {
 				tracer = obs.NewTracer(0)
@@ -170,6 +227,15 @@ func main() {
 			agg.Add(res.Summary)
 			if reg != nil && res.Fault != nil {
 				res.Fault.FeedRegistry(reg, string(p)+".fault")
+			}
+			if dm != nil {
+				driftMu.Lock()
+				if acc := driftAccums[string(p)]; acc != nil {
+					acc.Merge(dm.Accum())
+				} else {
+					driftAccums[string(p)] = dm.Accum()
+				}
+				driftMu.Unlock()
 			}
 			if tracer != nil {
 				if err := writeTrace(*traceFile, tracer); err != nil {
@@ -187,13 +253,85 @@ func main() {
 			fmt.Sprintf("%.3f", agg.MeanDeliveredFraction.Mean()))
 	}
 	tb.Render(os.Stdout)
-	if reg != nil {
+	if *stats {
 		fmt.Println()
 		if _, err := reg.WriteTo(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	}
+	if ledgerOn {
+		fmt.Println()
+		airtimeTable(protos, ledgers, *runs).Render(os.Stdout)
+	}
+	if *ledgerFile != "" {
+		if err := writeLedgerJSON(*ledgerFile, protos, ledgers, driftSummaries()); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *listen != "" && *hold {
+		fmt.Fprintln(os.Stderr, "metrics: holding (-hold); Ctrl-C to exit")
+		select {}
+	}
+}
+
+// airtimeTable renders the ledger breakdown: one row per protocol, one
+// column per category, each cell the fraction of the total simulated
+// airtime (all runs pooled — the registry counters accumulate across
+// runs sharing a protocol prefix).
+func airtimeTable(protos []experiments.Protocol, ledgers map[string]*obs.Ledger, runs int) *report.Table {
+	cols := append([]string{"protocol", "slots"}, obs.CategoryNames()...)
+	tb := report.NewTable(
+		fmt.Sprintf("airtime ledger: fraction of slots per category (%d run(s) pooled)", runs), cols...)
+	for _, p := range protos {
+		led := ledgers[string(p)]
+		if led == nil {
+			continue
+		}
+		snap := led.Snapshot()
+		row := []any{string(p), snap.TotalSlots}
+		for _, name := range obs.CategoryNames() {
+			frac := 0.0
+			if snap.TotalSlots > 0 {
+				frac = float64(snap.Categories[name]) / float64(snap.TotalSlots)
+			}
+			row = append(row, frac)
+		}
+		tb.AddRow(row...)
+	}
+	tb.Note = "slot conservation holds by construction: category counts sum to slots"
+	return tb
+}
+
+// writeLedgerJSON emits the machine-readable airtime report: the
+// per-protocol ledger snapshots plus the merged drift summaries.
+func writeLedgerJSON(path string, protos []experiments.Protocol,
+	ledgers map[string]*obs.Ledger, drift map[string]analysis.DriftSummary) error {
+	snaps := make(map[string]obs.LedgerSnapshot, len(ledgers))
+	for _, p := range protos {
+		if led := ledgers[string(p)]; led != nil {
+			snaps[string(p)] = led.Snapshot()
+		}
+	}
+	payload := struct {
+		Ledgers map[string]obs.LedgerSnapshot    `json:"ledgers"`
+		Drift   map[string]analysis.DriftSummary `json:"drift"`
+	}{snaps, drift}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ledger: wrote %s\n", path)
+	return nil
 }
 
 // writeTrace exports the tracer's buffer: JSONL when the file name ends

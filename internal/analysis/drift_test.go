@@ -1,0 +1,146 @@
+package analysis
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDriftAccumPHatBatch(t *testing.T) {
+	a := NewDriftAccum(RoundModelBatch)
+	// Round 1: 4 receivers exposed, 3 served. Round 2: 1 exposed, 1 served.
+	a.AddRound(4, 1)
+	a.AddRound(1, 0)
+	if a.Exposures != 5 || a.Served != 4 {
+		t.Fatalf("exposures/served = %d/%d, want 5/4", a.Exposures, a.Served)
+	}
+	if got := a.PHat(); got != 0.8 {
+		t.Errorf("p̂ = %g, want 0.8", got)
+	}
+}
+
+func TestDriftAccumPHatPerReceiver(t *testing.T) {
+	a := NewDriftAccum(RoundModelPerReceiver)
+	a.AddRound(3, 2) // polled receiver served
+	a.AddRound(2, 2) // polled receiver missed
+	a.AddRound(2, 1)
+	a.AddRound(1, 0)
+	if a.Exposures != 4 || a.Served != 3 {
+		t.Fatalf("exposures/served = %d/%d, want 4/3", a.Exposures, a.Served)
+	}
+	if got := a.PHat(); got != 0.75 {
+		t.Errorf("p̂ = %g, want 0.75", got)
+	}
+}
+
+func TestDriftAccumEmptyPHatIsOne(t *testing.T) {
+	if got := NewDriftAccum(RoundModelBatch).PHat(); got != 1 {
+		t.Errorf("empty p̂ = %g, want 1", got)
+	}
+}
+
+func TestDriftSummaryAgainstSimulatedRecurrence(t *testing.T) {
+	// Feed the accumulator the exact process the fₙ recurrence models —
+	// each remaining receiver served i.i.d. with probability p per round —
+	// and check Summary converges on RelErr ≈ 0 with p̂ ≈ p.
+	const p = 0.7
+	const n = 5
+	const trials = 20000
+	rng := rand.New(rand.NewSource(42))
+	a := NewDriftAccum(RoundModelBatch)
+	for i := 0; i < trials; i++ {
+		remaining := n
+		rounds := 0
+		for remaining > 0 {
+			rounds++
+			served := 0
+			for r := 0; r < remaining; r++ {
+				if rng.Float64() < p {
+					served++
+				}
+			}
+			a.AddRound(remaining, remaining-served)
+			remaining -= served
+		}
+		a.AddMessage(n, rounds)
+	}
+	s := a.Summary()
+	if math.Abs(s.PHat-p) > 0.01 {
+		t.Errorf("p̂ = %g, want ≈ %g", s.PHat, p)
+	}
+	if len(s.Points) != 1 || s.Points[0].N != n {
+		t.Fatalf("points = %+v, want one point at n=%d", s.Points, n)
+	}
+	if math.Abs(s.Points[0].RelErr) > 0.02 {
+		t.Errorf("RelErr = %g, want ≈ 0 (observed %g vs expected %g)",
+			s.Points[0].RelErr, s.Points[0].Observed, s.Points[0].Expected)
+	}
+	if s.WeightedRelErr != s.Points[0].RelErr {
+		t.Errorf("single-point weighted = %g, want %g", s.WeightedRelErr, s.Points[0].RelErr)
+	}
+}
+
+func TestDriftSummaryPerReceiver(t *testing.T) {
+	// BMW shape: each round polls one receiver, success probability p.
+	// With deterministic success (p̂ = 1), expected = n exactly.
+	a := NewDriftAccum(RoundModelPerReceiver)
+	for i := 0; i < 10; i++ {
+		for r := 3; r > 0; r-- {
+			a.AddRound(r, r-1)
+		}
+		a.AddMessage(3, 3)
+	}
+	s := a.Summary()
+	if s.PHat != 1 {
+		t.Errorf("p̂ = %g, want 1", s.PHat)
+	}
+	if s.Points[0].Expected != 3 || s.Points[0].RelErr != 0 {
+		t.Errorf("point = %+v, want expected 3, relerr 0", s.Points[0])
+	}
+}
+
+func TestDriftSummaryNonFiniteExpectedExcluded(t *testing.T) {
+	// All rounds fail: p̂ = 0, expected is +Inf → the point's RelErr is
+	// NaN and it is left out of the weighted aggregate.
+	a := NewDriftAccum(RoundModelBatch)
+	a.AddRound(2, 2)
+	a.AddMessage(2, 7)
+	s := a.Summary()
+	if !math.IsNaN(s.Points[0].RelErr) {
+		t.Errorf("RelErr = %g, want NaN", s.Points[0].RelErr)
+	}
+	if s.WeightedRelErr != 0 {
+		t.Errorf("weighted = %g, want 0 (no finite points)", s.WeightedRelErr)
+	}
+}
+
+func TestDriftAccumMerge(t *testing.T) {
+	a := NewDriftAccum(RoundModelBatch)
+	b := NewDriftAccum(RoundModelBatch)
+	a.AddRound(2, 0)
+	a.AddMessage(2, 1)
+	b.AddRound(3, 1)
+	b.AddMessage(2, 2)
+	b.AddMessage(3, 1)
+	a.Merge(b)
+	if a.Exposures != 5 || a.Served != 4 {
+		t.Errorf("merged exposures/served = %d/%d, want 5/4", a.Exposures, a.Served)
+	}
+	if g := a.Groups[2]; g.Messages != 2 || g.Contentions != 3 {
+		t.Errorf("merged group 2 = %+v, want 2 msgs / 3 contentions", g)
+	}
+	if g := a.Groups[3]; g.Messages != 1 || g.Contentions != 1 {
+		t.Errorf("merged group 3 = %+v, want 1 msg / 1 contention", g)
+	}
+}
+
+func TestRoundModelFor(t *testing.T) {
+	if RoundModelFor("BMW") != RoundModelPerReceiver {
+		t.Error("BMW should map to the per-receiver model")
+	}
+	for _, p := range []string{"BMMM", "LAMM", "BSMA", "802.11", "KK-Leader"} {
+		if RoundModelFor(p) != RoundModelBatch {
+			t.Errorf("%s should map to the batch model", p)
+		}
+	}
+}

@@ -111,6 +111,11 @@ type RunConfig struct {
 	// stat registries (internal/obs). Empty keeps the collector-only
 	// fast path.
 	Observers []sim.Observer
+	// SlotObservers are attached to the engine's per-slot channel-state
+	// hook via sim.CombineSlotObservers — the feed for airtime ledgers
+	// (internal/obs). Empty keeps the hook nil, the engine's zero-cost
+	// path.
+	SlotObservers []sim.SlotObserver
 	// Tracer receives channel-level events (sim.Config.Tracer); nil keeps
 	// tracing off. The equivalence tests use it to compare optimized and
 	// reference transcripts frame by frame.
@@ -204,14 +209,15 @@ func Run(cfg RunConfig) (RunResult, error) {
 		imp = inj
 	}
 	eng := sim.New(sim.Config{
-		Topo:       tp,
-		Capture:    cfg.Capture,
-		ErrRate:    cfg.ErrRate,
-		Impairment: imp,
-		Seed:       cfg.Seed ^ 0x1e3779b97f4a7c15, // decouple channel RNG from topology
-		Observer:   observer,
-		Tracer:     cfg.Tracer,
-		Reference:  cfg.Reference,
+		Topo:         tp,
+		Capture:      cfg.Capture,
+		ErrRate:      cfg.ErrRate,
+		Impairment:   imp,
+		Seed:         cfg.Seed ^ 0x1e3779b97f4a7c15, // decouple channel RNG from topology
+		Observer:     observer,
+		SlotObserver: sim.CombineSlotObservers(cfg.SlotObservers...),
+		Tracer:       cfg.Tracer,
+		Reference:    cfg.Reference,
 	})
 	eng.AttachMACs(factory)
 	gen := traffic.NewGenerator(tp)
@@ -252,6 +258,10 @@ type ProgressMeter struct {
 	W io.Writer
 	// Clock timestamps the elapsed/ETA math; nil means time.Now.
 	Clock func() time.Time
+	// Status, when non-nil, is updated after every completed run with
+	// progress counts and elapsed/ETA — the live feed behind the metrics
+	// endpoint's sweep gauges. nil disables the bookkeeping.
+	Status *SweepStatus
 }
 
 // clock returns the meter's clock, defaulting to the wall clock. The
@@ -268,6 +278,16 @@ func (pm ProgressMeter) clock() func() time.Time {
 // (typically to os.Stderr) before starting sweeps; Sweep snapshots the
 // meter at entry, so it must not be mutated while a sweep is in flight.
 var Progress ProgressMeter
+
+// Instrument, when non-nil, is invoked on every run configuration after
+// the sweep's own mutation and before the run executes — the hook the
+// cmd layer uses to attach fresh per-run observers (airtime ledgers,
+// drift monitors) to whole sweeps without touching each sweep function.
+// It is called from worker goroutines, so it must be safe for concurrent
+// use; like Progress it is snapshotted at Sweep entry and must not be
+// mutated while a sweep is in flight. Attached observers must not
+// perturb results (the engine guarantees observer neutrality).
+var Instrument func(cfg *RunConfig)
 
 // Sweep runs `runs` independent simulations for every (point, protocol)
 // pair, in parallel across the machine's cores. mutate configures the
@@ -291,6 +311,7 @@ func Sweep(points int, protocols []Protocol, runs int,
 		workers = 1
 	}
 	progress := Progress
+	instrument := Instrument
 	clock := progress.clock()
 	start := clock()
 	perPoint := len(protocols) * runs
@@ -298,6 +319,9 @@ func Sweep(points int, protocols []Protocol, runs int,
 	done := 0
 	pointDone := make([]int, points)
 	pointsDone := 0
+	if progress.Status != nil {
+		progress.Status.begin(points, total)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -305,6 +329,9 @@ func Sweep(points int, protocols []Protocol, runs int,
 			for tk := range tasks {
 				cfg := Defaults(protocols[tk.proto], seedFor(tk.point, tk.proto, tk.run))
 				mutate(tk.point, &cfg)
+				if instrument != nil {
+					instrument(&cfg)
+				}
 				res, err := Run(cfg)
 				mu.Lock()
 				if err != nil && firstErr == nil {
@@ -319,17 +346,25 @@ func Sweep(points int, protocols []Protocol, runs int,
 				}
 				done++
 				pointDone[tk.point]++
-				if progress.W != nil && pointDone[tk.point] == perPoint {
+				pointComplete := pointDone[tk.point] == perPoint
+				if pointComplete {
 					pointsDone++
+				}
+				if progress.Status != nil || (progress.W != nil && pointComplete) {
 					elapsed := clock().Sub(start)
 					eta := time.Duration(0)
 					if done > 0 {
 						eta = elapsed * time.Duration(total-done) / time.Duration(done)
 					}
-					fmt.Fprintf(progress.W,
-						"sweep: point %d/%d done (%d/%d runs, %d%%), elapsed %s, eta %s\n",
-						pointsDone, points, done, total, 100*done/total,
-						elapsed.Round(time.Second), eta.Round(time.Second))
+					if progress.Status != nil {
+						progress.Status.update(done, pointsDone, elapsed, eta)
+					}
+					if progress.W != nil && pointComplete {
+						fmt.Fprintf(progress.W,
+							"sweep: point %d/%d done (%d/%d runs, %d%%), elapsed %s, eta %s\n",
+							pointsDone, points, done, total, 100*done/total,
+							elapsed.Round(time.Second), eta.Round(time.Second))
+					}
 				}
 				mu.Unlock()
 			}
@@ -344,6 +379,9 @@ func Sweep(points int, protocols []Protocol, runs int,
 	}
 	close(tasks)
 	wg.Wait()
+	if progress.Status != nil {
+		progress.Status.finish(clock().Sub(start))
+	}
 	return results, firstErr
 }
 

@@ -1,0 +1,88 @@
+package experiments
+
+import (
+	"sync"
+	"time"
+)
+
+// SweepStatus is a live, concurrency-safe view of a sweep in flight —
+// the bridge between Sweep's worker pool and the obs metrics endpoint:
+// Sweep writes it after every completed run, HTTP handlers read it from
+// their own goroutines. Zero value is ready to use; hand the same
+// instance to ProgressMeter.Status and to the exporter's gauges.
+type SweepStatus struct {
+	mu         sync.Mutex
+	totalRuns  int
+	doneRuns   int
+	points     int
+	pointsDone int
+	elapsed    time.Duration
+	eta        time.Duration
+	active     bool
+}
+
+// SweepProgress is one coherent reading of a SweepStatus, shaped for
+// JSON export.
+type SweepProgress struct {
+	Active         bool    `json:"active"`
+	TotalRuns      int     `json:"total_runs"`
+	DoneRuns       int     `json:"done_runs"`
+	Points         int     `json:"points"`
+	PointsDone     int     `json:"points_done"`
+	Fraction       float64 `json:"fraction"`
+	ElapsedSeconds float64 `json:"elapsed_seconds"`
+	ETASeconds     float64 `json:"eta_seconds"`
+}
+
+func (s *SweepStatus) begin(points, totalRuns int) {
+	s.mu.Lock()
+	s.points, s.totalRuns = points, totalRuns
+	s.doneRuns, s.pointsDone = 0, 0
+	s.elapsed, s.eta = 0, 0
+	s.active = true
+	s.mu.Unlock()
+}
+
+func (s *SweepStatus) update(doneRuns, pointsDone int, elapsed, eta time.Duration) {
+	s.mu.Lock()
+	s.doneRuns, s.pointsDone = doneRuns, pointsDone
+	s.elapsed, s.eta = elapsed, eta
+	s.mu.Unlock()
+}
+
+func (s *SweepStatus) finish(elapsed time.Duration) {
+	s.mu.Lock()
+	s.elapsed, s.eta = elapsed, 0
+	s.active = false
+	s.mu.Unlock()
+}
+
+// Snapshot returns one coherent reading. Safe to call from any
+// goroutine at any time, including before and after the sweep.
+func (s *SweepStatus) Snapshot() SweepProgress {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	p := SweepProgress{
+		Active:         s.active,
+		TotalRuns:      s.totalRuns,
+		DoneRuns:       s.doneRuns,
+		Points:         s.points,
+		PointsDone:     s.pointsDone,
+		ElapsedSeconds: s.elapsed.Seconds(),
+		ETASeconds:     s.eta.Seconds(),
+	}
+	if s.totalRuns > 0 {
+		p.Fraction = float64(s.doneRuns) / float64(s.totalRuns)
+	}
+	return p
+}
+
+// Fraction returns completed-run fraction in [0, 1] — gauge-shaped for
+// the metrics exporter.
+func (s *SweepStatus) Fraction() float64 { return s.Snapshot().Fraction }
+
+// ETASeconds returns the estimated remaining seconds — gauge-shaped.
+func (s *SweepStatus) ETASeconds() float64 { return s.Snapshot().ETASeconds }
+
+// ElapsedSeconds returns the elapsed seconds so far — gauge-shaped.
+func (s *SweepStatus) ElapsedSeconds() float64 { return s.Snapshot().ElapsedSeconds }

@@ -6,17 +6,25 @@ import (
 )
 
 // obswiringAnalyzer forbids hand-rolled observer fan-out: a loop over a
-// collection of sim.Observer values that dispatches events on each
-// element bypasses sim.MultiObserver's per-observer panic attribution (a
-// panicking attachment must identify itself instead of masquerading as an
-// engine bug) and its nil/singleton collapsing. The only place such a
-// loop belongs is the MultiObserver methods themselves, so those are
+// collection of sim.Observer (or sim.SlotObserver) values that
+// dispatches events on each element bypasses the combinator's
+// per-observer panic attribution (a panicking attachment must identify
+// itself instead of masquerading as an engine bug) and its
+// nil/singleton collapsing. The only place such a loop belongs is the
+// MultiObserver/MultiSlotObserver methods themselves, so those are
 // exempt structurally — everything else must go through
-// sim.CombineObservers.
+// sim.CombineObservers / sim.CombineSlotObservers.
 var obswiringAnalyzer = &Analyzer{
 	Name: "obswiring",
-	Doc:  "observer fan-out goes through sim.CombineObservers/MultiObserver, never hand-rolled loops",
+	Doc:  "observer fan-out goes through sim.Combine(Slot)Observers/Multi(Slot)Observer, never hand-rolled loops",
 	Run:  runObsWiring,
+}
+
+// observerKinds maps each fanned-out sim interface to its sanctioned
+// combinator function and combinator type.
+var observerKinds = map[string]struct{ combine, multi string }{
+	"Observer":     {"sim.CombineObservers", "MultiObserver"},
+	"SlotObserver": {"sim.CombineSlotObservers", "MultiSlotObserver"},
 }
 
 func runObsWiring(p *Pass) {
@@ -26,15 +34,17 @@ func runObsWiring(p *Pass) {
 			if !ok {
 				return true
 			}
-			if !observerElem(p, rng.X) {
+			iface, ok := observerElem(p, rng.X)
+			if !ok {
 				return true
 			}
-			if fd := funcFor(file, rng.Pos()); fd != nil && isMultiObserverMethod(p, fd) {
+			kind := observerKinds[iface]
+			if fd := funcFor(file, rng.Pos()); fd != nil && isMultiObserverMethod(p, fd, kind.multi) {
 				return true
 			}
 			// Only dispatch loops are fan-out: the body must call a method
 			// on the iteration variable. Loops that merely collect
-			// observers (as CombineObservers itself does) are fine.
+			// observers (as the Combine* functions themselves do) are fine.
 			val, ok := rng.Value.(*ast.Ident)
 			if !ok || val.Name == "_" {
 				return true
@@ -43,18 +53,19 @@ func runObsWiring(p *Pass) {
 			if obj == nil || !callsMethodOn(p, rng.Body, obj) {
 				return true
 			}
-			p.Reportf(rng.Pos(), "hand-rolled observer fan-out; combine observers with sim.CombineObservers to keep panic attribution")
+			p.Reportf(rng.Pos(), "hand-rolled observer fan-out; combine observers with %s to keep panic attribution", kind.combine)
 			return true
 		})
 	}
 }
 
 // observerElem reports whether the expression is a slice/array whose
-// element type is the sim Observer interface.
-func observerElem(p *Pass, e ast.Expr) bool {
+// element type is one of the fanned-out sim observer interfaces, and
+// which one.
+func observerElem(p *Pass, e ast.Expr) (string, bool) {
 	tv, ok := p.Info.Types[e]
 	if !ok || tv.Type == nil {
-		return false
+		return "", false
 	}
 	var elem types.Type
 	switch t := tv.Type.Underlying().(type) {
@@ -63,19 +74,26 @@ func observerElem(p *Pass, e ast.Expr) bool {
 	case *types.Array:
 		elem = t.Elem()
 	default:
-		return false
+		return "", false
 	}
 	named, ok := elem.(*types.Named)
 	if !ok {
-		return false
+		return "", false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Observer" && obj.Pkg() != nil && obj.Pkg().Path() == p.Cfg.SimPkgPath
+	if _, watched := observerKinds[obj.Name()]; !watched {
+		return "", false
+	}
+	if obj.Pkg() == nil || obj.Pkg().Path() != p.Cfg.SimPkgPath {
+		return "", false
+	}
+	return obj.Name(), true
 }
 
 // isMultiObserverMethod reports whether the function is a method on the
-// sim MultiObserver combinator — the one sanctioned fan-out site.
-func isMultiObserverMethod(p *Pass, fd *ast.FuncDecl) bool {
+// named sim combinator type — the one sanctioned fan-out site for its
+// interface.
+func isMultiObserverMethod(p *Pass, fd *ast.FuncDecl, multi string) bool {
 	if fd.Recv == nil || len(fd.Recv.List) == 0 {
 		return false
 	}
@@ -92,7 +110,7 @@ func isMultiObserverMethod(p *Pass, fd *ast.FuncDecl) bool {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "MultiObserver" && obj.Pkg() != nil && obj.Pkg().Path() == p.Cfg.SimPkgPath
+	return obj.Name() == multi && obj.Pkg() != nil && obj.Pkg().Path() == p.Cfg.SimPkgPath
 }
 
 // callsMethodOn reports whether the body contains a method call whose

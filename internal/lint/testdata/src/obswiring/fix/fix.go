@@ -23,3 +23,23 @@ func collect(obs []sim.Observer) sim.Observer {
 	}
 	return sim.CombineObservers(kept...)
 }
+
+// fanOutSlots hand-dispatches the per-slot channel-state hook, bypassing
+// MultiSlotObserver's panic attribution: flagged.
+func fanOutSlots(obs []sim.SlotObserver, now sim.Slot, airing []sim.AiringTx) {
+	for _, o := range obs { // want `hand-rolled observer fan-out.*CombineSlotObservers`
+		o.OnSlot(now, airing, false)
+	}
+}
+
+// collectSlots gathers slot observers for the sanctioned combinator:
+// not a dispatch loop.
+func collectSlots(obs []sim.SlotObserver) sim.SlotObserver {
+	kept := make([]sim.SlotObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	return sim.CombineSlotObservers(kept...)
+}

@@ -1,0 +1,51 @@
+package obs
+
+// HistogramSnapshot is the JSON export shape of one histogram: raw
+// buckets plus the derived mean and interpolated quantiles.
+type HistogramSnapshot struct {
+	Count  int64     `json:"count"`
+	Mean   float64   `json:"mean"`
+	P50    float64   `json:"p50"`
+	P95    float64   `json:"p95"`
+	P99    float64   `json:"p99"`
+	Bounds []float64 `json:"bounds"`
+	// Counts is parallel to Bounds with one trailing overflow bucket.
+	Counts []int64 `json:"counts"`
+}
+
+// RegistrySnapshot is a point-in-time copy of every registered counter
+// and histogram — the JSON half of the live export.
+type RegistrySnapshot struct {
+	Counters   map[string]int64             `json:"counters"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the registry's current state. Counters and histograms
+// are internally synchronized, so snapshotting mid-run is safe; the
+// values are each coherent individually, not as a cross-instrument
+// transaction.
+func (r *Registry) Snapshot() RegistrySnapshot {
+	counters, hists := r.Names()
+	s := RegistrySnapshot{
+		Counters:   make(map[string]int64, len(counters)),
+		Histograms: make(map[string]HistogramSnapshot, len(hists)),
+	}
+	for _, name := range counters {
+		s.Counters[name] = r.Counter(name).Value()
+	}
+	for _, name := range hists {
+		h := r.Histogram(name)
+		bounds, counts := h.Buckets()
+		p50, p95, p99 := h.Quantiles()
+		s.Histograms[name] = HistogramSnapshot{
+			Count:  h.Count(),
+			Mean:   h.Mean(),
+			P50:    p50,
+			P95:    p95,
+			P99:    p99,
+			Bounds: bounds,
+			Counts: counts,
+		}
+	}
+	return s
+}

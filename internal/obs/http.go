@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// MetricsServer exposes a Registry (plus optional airtime ledgers,
+// gauges and extra JSON payloads) over HTTP in two shapes:
+//
+//	/metrics   Prometheus text exposition format (counters, histograms
+//	           with cumulative _bucket/_sum/_count families, gauges)
+//	/snapshot  one JSON document: registry snapshot, ledger breakdowns,
+//	           every registered extra payload
+//	/          plain-text index of the above
+//
+// The server only builds an http.Handler — it never listens or spawns
+// goroutines itself (internal/obs runs on the engine's serial path, so
+// the relmaclint simsafe check bans both here). Callers own the
+// net/http server: `go http.Serve(ln, srv.Handler())` from a cmd.
+//
+// Registered gauge and extra callbacks run on HTTP goroutines while the
+// simulation mutates its state, so they must be safe for concurrent use
+// (read atomics, take their own locks, or return precomputed values).
+// Registry counters/histograms and Ledger snapshots are already
+// internally synchronized.
+type MetricsServer struct {
+	reg *Registry
+
+	mu      sync.Mutex
+	ledgers map[string]*Ledger
+	gauges  map[string]func() float64
+	extras  map[string]func() any
+}
+
+// NewMetricsServer builds a server over the given registry.
+func NewMetricsServer(reg *Registry) *MetricsServer {
+	return &MetricsServer{
+		reg:     reg,
+		ledgers: make(map[string]*Ledger),
+		gauges:  make(map[string]func() float64),
+		extras:  make(map[string]func() any),
+	}
+}
+
+// AddLedger includes a ledger's breakdown in the JSON snapshot under the
+// given name. Its counters already live in the registry, so /metrics
+// picks them up with no extra registration.
+func (s *MetricsServer) AddLedger(name string, l *Ledger) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ledgers[name] = l
+}
+
+// Gauge registers a live value exported as a Prometheus gauge (and under
+// "gauges" in the JSON snapshot). fn must be safe for concurrent use.
+func (s *MetricsServer) Gauge(name string, fn func() float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.gauges[name] = fn
+}
+
+// Extra registers an arbitrary JSON-marshalable payload included in the
+// snapshot under the given key. fn must be safe for concurrent use.
+func (s *MetricsServer) Extra(name string, fn func() any) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.extras[name] = fn
+}
+
+// Handler returns the HTTP handler serving /, /metrics and /snapshot.
+func (s *MetricsServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "relmac live metrics")
+		fmt.Fprintln(w, "  /metrics   Prometheus text format")
+		fmt.Fprintln(w, "  /snapshot  JSON snapshot (registry, ledgers, extras)")
+	})
+	mux.HandleFunc("/metrics", s.serveMetrics)
+	mux.HandleFunc("/snapshot", s.serveSnapshot)
+	return mux
+}
+
+// PromName sanitizes a registry instrument name into a legal Prometheus
+// metric name: lowercased, every non-alphanumeric run collapsed to one
+// underscore, prefixed "relmac_". "BMMM.airtime.idle" becomes
+// "relmac_bmmm_airtime_idle".
+func PromName(name string) string {
+	var b strings.Builder
+	b.WriteString("relmac_")
+	prevUnderscore := false
+	for _, r := range strings.ToLower(name) {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9')
+		if !ok {
+			r = '_'
+		}
+		if r == '_' {
+			if prevUnderscore {
+				continue
+			}
+			prevUnderscore = true
+		} else {
+			prevUnderscore = false
+		}
+		b.WriteRune(r)
+	}
+	return strings.TrimRight(b.String(), "_")
+}
+
+// promFloat renders a sample value; Prometheus spells non-finite values
+// +Inf/-Inf/NaN.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return fmt.Sprintf("%g", v)
+	}
+}
+
+func (s *MetricsServer) serveMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	counters, hists := s.reg.Names()
+	for _, name := range counters {
+		pn := PromName(name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", pn)
+		fmt.Fprintf(w, "%s %d\n", pn, s.reg.Counter(name).Value())
+	}
+	for _, name := range hists {
+		h := s.reg.Histogram(name)
+		bounds, counts := h.Buckets()
+		pn := PromName(name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", pn)
+		var cum int64
+		for i, bound := range bounds {
+			cum += counts[i]
+			fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", pn, promFloat(bound), cum)
+		}
+		cum += counts[len(counts)-1]
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", pn, cum)
+		fmt.Fprintf(w, "%s_sum %s\n", pn, promFloat(h.Mean()*float64(h.Count())))
+		fmt.Fprintf(w, "%s_count %d\n", pn, h.Count())
+	}
+	s.mu.Lock()
+	gnames := make([]string, 0, len(s.gauges))
+	for name := range s.gauges {
+		gnames = append(gnames, name)
+	}
+	gfns := make([]func() float64, len(gnames))
+	sort.Strings(gnames)
+	for i, name := range gnames {
+		gfns[i] = s.gauges[name]
+	}
+	s.mu.Unlock()
+	for i, name := range gnames {
+		pn := PromName(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
+		fmt.Fprintf(w, "%s %s\n", pn, promFloat(gfns[i]()))
+	}
+}
+
+func (s *MetricsServer) serveSnapshot(w http.ResponseWriter, r *http.Request) {
+	out := map[string]any{"registry": s.reg.Snapshot()}
+	s.mu.Lock()
+	ledgers := make(map[string]LedgerSnapshot, len(s.ledgers))
+	for name, l := range s.ledgers {
+		ledgers[name] = l.Snapshot()
+	}
+	type namedFn struct {
+		name string
+		fn   func() any
+	}
+	extras := make([]namedFn, 0, len(s.extras))
+	for name, fn := range s.extras {
+		extras = append(extras, namedFn{name, fn})
+	}
+	gauges := make(map[string]func() float64, len(s.gauges))
+	for name, fn := range s.gauges {
+		gauges[name] = fn
+	}
+	s.mu.Unlock()
+	if len(ledgers) > 0 {
+		out["ledgers"] = ledgers
+	}
+	if len(gauges) > 0 {
+		gv := make(map[string]float64, len(gauges))
+		for name, fn := range gauges {
+			gv[name] = fn()
+		}
+		out["gauges"] = gv
+	}
+	for _, e := range extras {
+		out[e.name] = e.fn()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(out)
+}

@@ -78,12 +78,68 @@ func (h *Histogram) Buckets() (bounds []float64, counts []int64) {
 	return append([]float64(nil), h.bounds...), append([]int64(nil), h.counts...)
 }
 
-// render prints "n=… mean=… [≤b]=c … [>b]=c", skipping empty buckets so
-// a wide histogram stays one readable line.
+// Quantile estimates the q-quantile (q in [0, 1]) by linear
+// interpolation inside the bucket holding the target rank. The first
+// bucket interpolates from 0 (or from its bound when that is negative);
+// ranks landing in the overflow bucket clamp to the last bound, the
+// largest value the fixed buckets can resolve. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	bounds, counts := h.Buckets()
+	h.mu.Lock()
+	n := h.n
+	h.mu.Unlock()
+	if n == 0 || len(bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(n)
+	cum := 0.0
+	for i, c := range counts {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= rank {
+			if i >= len(bounds) {
+				// Overflow bucket: unbounded above, clamp.
+				return bounds[len(bounds)-1]
+			}
+			lo := 0.0
+			if i > 0 {
+				lo = bounds[i-1]
+			} else if bounds[0] < 0 {
+				lo = bounds[0]
+			}
+			frac := (rank - cum) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lo + (bounds[i]-lo)*frac
+		}
+		cum += float64(c)
+	}
+	return bounds[len(bounds)-1]
+}
+
+// Quantiles returns the p50/p95/p99 estimates in one call.
+func (h *Histogram) Quantiles() (p50, p95, p99 float64) {
+	return h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)
+}
+
+// render prints "n=… mean=… p50/p95/p99=… [≤b]=c … [>b]=c", skipping
+// empty buckets so a wide histogram stays one readable line.
 func (h *Histogram) render() string {
 	bounds, counts := h.Buckets()
 	var b strings.Builder
 	fmt.Fprintf(&b, "n=%d mean=%.2f", h.Count(), h.Mean())
+	if h.Count() > 0 {
+		p50, p95, p99 := h.Quantiles()
+		fmt.Fprintf(&b, " p50=%.2f p95=%.2f p99=%.2f", p50, p95, p99)
+	}
 	for i, c := range counts {
 		if c == 0 {
 			continue

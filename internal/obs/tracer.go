@@ -136,13 +136,29 @@ type jsonEvent struct {
 	Reason   string `json:"reason,omitempty"`
 }
 
+// jsonMeta is the JSONL header line surfacing ring-buffer overflow: it
+// appears only when events were dropped, so complete traces stay
+// byte-identical to the pre-meta schema.
+type jsonMeta struct {
+	Event    string `json:"event"` // always "tracer-meta"
+	Dropped  int64  `json:"dropped"`
+	Buffered int    `json:"buffered"`
+}
+
 // WriteJSONL writes the buffered events oldest-first, one JSON object
 // per line, fields in schema order (slot, event, station, msg, then
 // frame/src/dst/dur for frame-tx events, residual for round events and
-// reason for abort events).
+// reason for abort events). When the ring wrapped, the first line is a
+// "tracer-meta" record carrying the drop count, so a reader knows the
+// window is truncated before consuming it.
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	if t.dropped > 0 {
+		if err := enc.Encode(jsonMeta{Event: "tracer-meta", Dropped: t.dropped, Buffered: t.Len()}); err != nil {
+			return err
+		}
+	}
 	for _, ev := range t.Events() {
 		je := jsonEvent{
 			Slot:    int64(ev.Slot),
@@ -216,6 +232,14 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 		out = append(out, chromeEvent{
 			Name: "thread_name", Ph: "M", Pid: 0, Tid: id,
 			Args: map[string]any{"name": fmt.Sprintf("station %d", id)},
+		})
+	}
+	if t.dropped > 0 {
+		// Metadata event surfacing ring-buffer overflow; absent from
+		// complete traces so their goldens stay byte-identical.
+		out = append(out, chromeEvent{
+			Name: "tracer_dropped", Ph: "M", Pid: 0,
+			Args: map[string]any{"dropped": t.dropped, "buffered": len(events)},
 		})
 	}
 	for _, ev := range events {

@@ -295,6 +295,11 @@ type Config struct {
 	Observer Observer
 	// Tracer receives channel-level events; may be nil.
 	Tracer Tracer
+	// SlotObserver, when non-nil, receives one channel-state callback per
+	// slot (airing transmissions + collision flag) — the airtime ledger's
+	// feed. Combine several with CombineSlotObservers. Nil keeps the
+	// per-slot loop free of any callback cost.
+	SlotObserver SlotObserver
 	// SlotHook, when non-nil, runs at the start of every slot before
 	// traffic arrivals and MAC ticks. Mobility drivers use it to advance
 	// node positions and swap refreshed topologies in.
@@ -337,6 +342,7 @@ type Engine struct {
 	rng      *rand.Rand
 	observer Observer
 	tracer   Tracer
+	slotObs  SlotObserver
 	slotHook func(now Slot, e *Engine)
 
 	now    Slot
@@ -353,6 +359,12 @@ type Engine struct {
 	sigRx   [][]int32 // per station: receiver index within that transmission
 	dists   []float64
 	touched []int // stations with ≥1 signal this slot
+
+	// airScratch is the reused airing list handed to the slot observer;
+	// slotCollided records whether resolveSlot saw a ≥2-signal overlap at
+	// any listening station in the current slot.
+	airScratch   []AiringTx
+	slotCollided bool
 
 	// Carrier sense is epoch-stamped rather than cleared: station i
 	// senses the medium busy at the current slot iff busyStamp[i] == now,
@@ -425,6 +437,7 @@ func New(cfg Config) *Engine {
 		rng:         rand.New(rand.NewSource(cfg.Seed)),
 		observer:    obs,
 		tracer:      cfg.Tracer,
+		slotObs:     cfg.SlotObserver,
 		slotHook:    hook,
 		macs:        make([]MAC, n),
 		envs:        make([]Env, n),
@@ -581,6 +594,14 @@ func (e *Engine) step(src Source) {
 	// 3. Per-slot interference resolution.
 	e.resolveSlot()
 
+	// 3.5. Channel-state callback: the airing set is complete (new
+	// transmissions registered, none completed yet) and the collision
+	// flag is fresh from resolution. Draws nothing from the PRNG, so the
+	// nil path and the attached path simulate bit-identically.
+	if e.slotObs != nil {
+		e.emitSlot()
+	}
+
 	// 4. Frame completions.
 	e.completeSlot()
 
@@ -641,6 +662,7 @@ func (e *Engine) startTx(sender int, f *frames.Frame) {
 // resolveSlot marks corruption for all signals overlapping this slot.
 func (e *Engine) resolveSlot() {
 	now := e.now
+	e.slotCollided = false
 	touchedNodes := e.touched[:0]
 	for ti, tx := range e.active {
 		if tx.start > now || tx.end < now {
@@ -658,13 +680,19 @@ func (e *Engine) resolveSlot() {
 		sigs := e.sigTx[j]
 		switch {
 		case e.txBusyUntil[j] >= now:
-			// Half duplex: a transmitting station decodes nothing.
+			// Half duplex: a transmitting station decodes nothing. Two or
+			// more arrivals still count as a physical signal overlap for
+			// the slot observer's collision flag.
+			if len(sigs) > 1 {
+				e.slotCollided = true
+			}
 			for k, ti := range sigs {
 				e.active[ti].corrupt[e.sigRx[j][k]] = true
 			}
 		case len(sigs) == 1:
 			// Clean slot for this frame at this receiver.
 		default:
+			e.slotCollided = true
 			// Collision: ask the capture model which signal survives.
 			// Distances come from the table captured at transmission
 			// start; Dist is symmetric (math.Hypot of the same deltas),
@@ -691,6 +719,29 @@ func (e *Engine) resolveSlot() {
 		e.sigRx[j] = e.sigRx[j][:0]
 	}
 	e.touched = touchedNodes[:0]
+}
+
+// emitSlot hands the slot observer the channel state of the current
+// slot: every transmission in the air (via the reused scratch list) and
+// whether resolution saw a signal overlap. Called only when a slot
+// observer is attached.
+func (e *Engine) emitSlot() {
+	now := e.now
+	airing := e.airScratch[:0]
+	for _, tx := range e.active {
+		if tx.start <= now && tx.end >= now {
+			airing = append(airing, AiringTx{
+				Frame: tx.frame, Sender: tx.sender, Start: tx.start, End: tx.end,
+			})
+		}
+	}
+	e.slotObs.OnSlot(now, airing, e.slotCollided)
+	// Break the frame references before recycling the scratch so retained
+	// frames stay collectable once their transmissions complete.
+	for i := range airing {
+		airing[i].Frame = nil
+	}
+	e.airScratch = airing[:0]
 }
 
 // completeSlot delivers every frame whose last slot is the current one.

@@ -1,0 +1,83 @@
+package sim
+
+import (
+	"fmt"
+
+	"relmac/internal/frames"
+)
+
+// AiringTx describes one transmission in the air during a slot, as seen
+// by a SlotObserver. Frame is the frame being carried; Start and End are
+// the inclusive slot range of its airtime.
+type AiringTx struct {
+	Frame  *frames.Frame
+	Sender int
+	Start  Slot
+	End    Slot
+}
+
+// SlotObserver receives one channel-state callback per simulated slot —
+// the hook behind the airtime ledger (internal/obs): protocol-level
+// Observer events say what the MACs decided, OnSlot says what the medium
+// actually carried while they decided it.
+//
+// OnSlot fires after the slot's interference resolution and before frame
+// completions, so the airing list includes transmissions that end this
+// very slot. airing is the engine's reused scratch buffer: implementations
+// must not retain it (copy what must survive the call). collided reports
+// whether two or more signals arrived at any single station this slot —
+// the physical overlap the capture model arbitrates (a lone arrival at a
+// half-duplex transmitter is deafness, not collision).
+//
+// Implementations must be cheap, must not touch the engine PRNG and must
+// not mutate the frames they are shown; a nil Config.SlotObserver keeps
+// the engine's per-slot loop free of any callback cost, exactly like the
+// nil-tracer and NopObserver fast paths.
+type SlotObserver interface {
+	OnSlot(now Slot, airing []AiringTx, collided bool)
+}
+
+// MultiSlotObserver fans the per-slot callback out to a list of slot
+// observers in registration order. Build one with CombineSlotObservers,
+// which collapses the trivial cases so single-observer runs pay no
+// fan-out cost. Like MultiObserver, a panicking attachment is re-raised
+// annotated with its position and concrete type.
+type MultiSlotObserver []SlotObserver
+
+// CombineSlotObservers builds a SlotObserver dispatching to every non-nil
+// argument in order. It returns nil when none remain (the engine's
+// disabled fast path) and the observer itself when exactly one remains.
+func CombineSlotObservers(obs ...SlotObserver) SlotObserver {
+	kept := make(MultiSlotObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	switch len(kept) {
+	case 0:
+		return nil
+	case 1:
+		return kept[0]
+	default:
+		return kept
+	}
+}
+
+// identify is installed as a deferred call around each fan-out dispatch;
+// it re-panics with the offending observer's index and type attached.
+func (m MultiSlotObserver) identify(i int) {
+	if r := recover(); r != nil {
+		panic(fmt.Sprintf("sim: slot observer %d/%d (%T) panicked: %v", i+1, len(m), m[i], r))
+	}
+}
+
+// OnSlot implements SlotObserver.
+func (m MultiSlotObserver) OnSlot(now Slot, airing []AiringTx, collided bool) {
+	for i, o := range m {
+		func() {
+			defer m.identify(i)
+			o.OnSlot(now, airing, collided)
+		}()
+	}
+}
