@@ -9,6 +9,9 @@
 //	macsim -protocol all -rate 0.001 -capture sir
 //	macsim -protocol BMMM -trace out.json       # Chrome trace for Perfetto
 //	macsim -protocol BMMM -trace out.jsonl      # JSONL event log
+//	macsim -protocol BMMM -flight spans.jsonl   # per-message lifecycle spans
+//	macsim -protocol all -flightstats -stats    # stage-decomposed latency histograms
+//	macsim -protocol all -audit report.json     # protocol conformance audit
 //	macsim -protocol all -stats -pprof :6060
 //	macsim -protocol all -ledger airtime.json  # slot-accurate airtime ledger + drift
 //	macsim -protocol BMMM -listen :9090 -hold  # live /metrics + /snapshot endpoints
@@ -65,6 +68,9 @@ func main() {
 	crashSpec := flag.String("crash", "", "fault: node crash schedule, mttf:mttr in slots")
 	locNoise := flag.Float64("locnoise", 0, "fault: stddev of the Gaussian location error LAMM sees (unit-square units)")
 	ledgerFile := flag.String("ledger", "", "attach the airtime ledger and drift monitor, print the per-category breakdown, and write the JSON report to this file (\"-\" for stdout)")
+	flightFile := flag.String("flight", "", "write per-message lifecycle span trees of a single run to this file: *.jsonl for span JSONL, anything else for Chrome trace-event JSON (open at ui.perfetto.dev)")
+	flightStats := flag.Bool("flightstats", false, "attach a flight recorder per run and feed stage-decomposed latency histograms (queueing/contention/control/data airtime) into the stat registry; combine with -stats to print them")
+	auditFile := flag.String("audit", "", "run the protocol conformance auditor on every run and write the findings report to this file (\"-\" for stdout); exits 1 if any violation is found")
 	listen := flag.String("listen", "", "serve live metrics on this address (e.g. :9090): /metrics is Prometheus text, /snapshot is JSON; implies the airtime ledger")
 	hold := flag.Bool("hold", false, "with -listen: keep serving after the runs complete until interrupted")
 	flag.Parse()
@@ -137,9 +143,21 @@ func main() {
 			*runs = 1
 		}
 	}
+	if *flightFile != "" {
+		// A span file captures exactly one run of one protocol, for the
+		// same reason a trace file does.
+		if len(protos) > 1 {
+			fmt.Fprintf(os.Stderr, "-flight: recording only the first protocol (%s)\n", protos[0])
+			protos = protos[:1]
+		}
+		if *runs != 1 {
+			fmt.Fprintln(os.Stderr, "-flight: forcing -runs 1")
+			*runs = 1
+		}
+	}
 	ledgerOn := *ledgerFile != "" || *listen != ""
 	var reg *obs.Registry
-	if *stats || ledgerOn {
+	if *stats || ledgerOn || *flightStats {
 		reg = obs.NewRegistry()
 	}
 
@@ -179,6 +197,9 @@ func main() {
 			*nodes, *radius, *slots, *rate, *timeout, capModel.Name(), *runs),
 		"protocol", "messages", "delivery rate", "avg contentions", "avg completion", "delivered frac")
 	ledgers := make(map[string]*obs.Ledger)
+	// Audit outcomes pool across runs per protocol; each run gets a fresh
+	// auditor because message IDs restart with the engine.
+	audits := make(map[string]*auditResult)
 	for _, p := range protos {
 		var agg metrics.SummaryStats
 		var st *obs.Stats
@@ -218,6 +239,40 @@ func main() {
 				tracer = obs.NewTracer(0)
 				tracer.Timing = cfg.MAC.Timing
 				cfg.Observers = append(cfg.Observers, tracer)
+				if msrv != nil {
+					msrv.AddTracer(string(p), tracer)
+				}
+			}
+			var fl *obs.Flight
+			if *flightFile != "" || *flightStats {
+				// The registry (and a per-protocol prefix) only when the
+				// histograms were asked for; a span dump alone stays
+				// registry-free.
+				var freg *obs.Registry
+				prefix := ""
+				if *flightStats {
+					freg, prefix = reg, string(p)
+				}
+				fl = obs.NewFlight(freg, prefix, 0)
+				fl.Timing = cfg.MAC.Timing
+				cfg.Observers = append(cfg.Observers, fl)
+				cfg.Lifecycles = append(cfg.Lifecycles, fl)
+				if msrv != nil {
+					msrv.AddFlight(string(p), fl)
+				}
+			}
+			var aud *obs.Auditor
+			if *auditFile != "" {
+				if ap, ok := obs.AuditProtocolFor(string(p)); ok {
+					aud = obs.NewAuditor(ap, cfg.MAC.RetryLimit)
+					cfg.Observers = append(cfg.Observers, aud)
+					cfg.Lifecycles = append(cfg.Lifecycles, aud)
+					if msrv != nil {
+						msrv.AddAuditor(string(p), aud)
+					}
+				} else if r == 0 {
+					fmt.Fprintf(os.Stderr, "audit: no conformance model for %s, skipping\n", p)
+				}
 			}
 			res, err := experiments.Run(cfg)
 			if err != nil {
@@ -245,6 +300,26 @@ func main() {
 				fmt.Fprintf(os.Stderr, "trace: %d events -> %s (%d dropped)\n",
 					tracer.Len(), *traceFile, tracer.Dropped())
 			}
+			if fl != nil && *flightFile != "" {
+				if err := writeFlight(*flightFile, fl); err != nil {
+					fmt.Fprintln(os.Stderr, err)
+					os.Exit(1)
+				}
+				fst := fl.Stats()
+				fmt.Fprintf(os.Stderr, "flight: %d messages -> %s (%d complete, %d aborted, %d in flight)\n",
+					fst.Tracked, *flightFile, fst.Completed, fst.Aborted, fst.InFlight)
+			}
+			if aud != nil {
+				agg := audits[string(p)]
+				if agg == nil {
+					agg = &auditResult{Protocol: aud.Protocol().String(), Findings: []obs.Finding{}}
+					audits[string(p)] = agg
+				}
+				ast := aud.Stats()
+				agg.Audited += ast.Audited
+				agg.Violations += ast.Violations
+				agg.Findings = append(agg.Findings, aud.Findings()...)
+			}
 		}
 		tb.AddRow(string(p), agg.Messages,
 			fmt.Sprintf("%.3f ±%.3f", agg.SuccessRate.Mean(), agg.SuccessRate.CI95()),
@@ -270,10 +345,81 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *auditFile != "" {
+		if err := writeAuditJSON(*auditFile, protos, audits); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		var violations int64
+		for _, p := range protos {
+			agg := audits[string(p)]
+			if agg == nil {
+				continue
+			}
+			fmt.Fprintf(os.Stderr, "audit %s: %d messages, %d violations\n",
+				p, agg.Audited, agg.Violations)
+			violations += agg.Violations
+		}
+		if violations > 0 {
+			fmt.Fprintf(os.Stderr, "audit: %d conformance violations\n", violations)
+			os.Exit(1)
+		}
+	}
 	if *listen != "" && *hold {
 		fmt.Fprintln(os.Stderr, "metrics: holding (-hold); Ctrl-C to exit")
 		select {}
 	}
+}
+
+// auditResult pools one protocol's audit outcome across runs.
+type auditResult struct {
+	Protocol   string        `json:"protocol"`
+	Audited    int64         `json:"audited"`
+	Violations int64         `json:"violations"`
+	Findings   []obs.Finding `json:"findings"`
+}
+
+// writeAuditJSON emits the conformance report: one entry per audited
+// protocol with pooled message counts, violation totals and findings.
+func writeAuditJSON(path string, protos []experiments.Protocol, audits map[string]*auditResult) error {
+	payload := make(map[string]*auditResult, len(audits))
+	for _, p := range protos {
+		if agg := audits[string(p)]; agg != nil {
+			payload[string(p)] = agg
+		}
+	}
+	data, err := json.MarshalIndent(payload, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "audit: wrote %s\n", path)
+	return nil
+}
+
+// writeFlight exports the flight recorder's span trees: span JSONL when
+// the file name ends in .jsonl, Chrome trace-event JSON otherwise.
+func writeFlight(path string, fl *obs.Flight) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".jsonl") {
+		err = fl.WriteSpansJSONL(f)
+	} else {
+		err = fl.WriteChromeTrace(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // airtimeTable renders the ledger breakdown: one row per protocol, one

@@ -81,6 +81,10 @@ func (m *Multicaster) Begin(st *dcf.Station, env *sim.Env, req *sim.Request) {
 		st.FinishRequest(env, true)
 		return
 	}
+	// BMW's rounds are per-receiver: the first one opens here, each later
+	// one in advance. Retries re-enter the current round and are not
+	// reported as round starts.
+	env.ReportRoundStart(req, m.idx+1, 1)
 	m.st = contend
 	st.StartContention(env)
 }
@@ -146,6 +150,7 @@ func (m *Multicaster) advance(st *dcf.Station, env *sim.Env) *frames.Frame {
 		st.FinishRequest(env, true)
 		return nil
 	}
+	env.ReportRoundStart(m.req, m.idx+1, 1)
 	m.st = contend
 	st.StartContention(env)
 	return nil

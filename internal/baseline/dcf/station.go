@@ -60,6 +60,10 @@ type Station struct {
 	// a contention phase: all later phases must draw a random backoff
 	// (the 802.11 post-backoff rule; see Backoff.BeginDeferred).
 	contended bool
+	// dropHook is the lazily built stale-response callback handed to
+	// Responder.DueReport when a lifecycle observer is attached; caching
+	// it keeps the enabled path free of a per-tick closure allocation.
+	dropHook func(*frames.Frame)
 }
 
 // NewStation builds a Station for the given node using mc for group
@@ -107,7 +111,7 @@ func (st *Station) Tick(env *sim.Env) *frames.Frame {
 		return nil
 	}
 	// Receiver-role responses have SIFS priority over everything.
-	if f := st.resp.Due(now); f != nil {
+	if f := st.dueResponse(env, now); f != nil {
 		return f
 	}
 	// Queue maintenance.
@@ -148,7 +152,21 @@ func (st *Station) Quiescent(after sim.Slot) bool {
 // history would hold had it observed every skipped slot.
 func (st *Station) Wake(idleRun int) { st.hist.Restore(idleRun) }
 
+// dueResponse pulls the response due this slot. With a lifecycle
+// observer attached, stale responses are reported as they are discarded;
+// without one the pre-hook fast path runs unchanged.
+func (st *Station) dueResponse(env *sim.Env, now sim.Slot) *frames.Frame {
+	if !env.LifecycleOn() {
+		return st.resp.Due(now)
+	}
+	if st.dropHook == nil {
+		st.dropHook = func(f *frames.Frame) { env.ReportResponseDrop(f) }
+	}
+	return st.resp.DueReport(now, st.dropHook)
+}
+
 func (st *Station) beginService(env *sim.Env) {
+	env.ReportServiceStart(st.cur)
 	st.backoff.Reset()
 	st.contended = false
 	if st.cur.Kind == sim.Unicast {

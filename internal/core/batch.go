@@ -137,6 +137,9 @@ func (b *Batch) Begin(st *dcf.Station, env *sim.Env, req *sim.Request) {
 func (b *Batch) startRound(st *dcf.Station, env *sim.Env) {
 	b.poll = b.pick.Poll(env, b.S)
 	b.pollAddrs = dcf.GroupAddrs(b.poll)
+	// attempts increments when the contention this round opens with is
+	// won, so attempts+1 is the 1-based ordinal of the round about to run.
+	env.ReportRoundStart(b.req, b.attempts+1, len(b.poll))
 	b.ph = contend
 	st.StartContention(env)
 }

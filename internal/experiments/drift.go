@@ -2,6 +2,9 @@ package experiments
 
 import (
 	"fmt"
+	"math"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"relmac/internal/analysis"
@@ -27,17 +30,33 @@ const DriftTolerance = 0.35
 // the per-run accumulators, and reports the observed-vs-closed-form
 // comparison: a rendered table plus the per-protocol summaries for JSON
 // export.
+//
+// With Options.FlightDir set, every run additionally carries an
+// obs.Flight, and the span traces of any protocol whose weighted drift
+// exceeds DriftTolerance are written to the directory as
+// flight_<protocol>_run<N>.jsonl — the per-message evidence behind a
+// tripped gate.
 func Drift(o Options) (*report.Table, map[Protocol]analysis.DriftSummary, error) {
 	o = o.normal()
 	var mu sync.Mutex
 	monitors := make(map[Protocol][]*obs.DriftMonitor)
+	flights := make(map[Protocol][]*obs.Flight)
 	_, err := Sweep(1, o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
 		cfg.Slots = o.Slots
 		cfg.Fault = o.Fault
 		m := obs.NewDriftMonitor(analysis.RoundModelFor(string(cfg.Protocol)))
 		cfg.Observers = append(cfg.Observers, m)
+		var fl *obs.Flight
+		if o.FlightDir != "" {
+			fl = obs.NewFlight(nil, "", 0)
+			cfg.Observers = append(cfg.Observers, fl)
+			cfg.Lifecycles = append(cfg.Lifecycles, fl)
+		}
 		mu.Lock()
 		monitors[cfg.Protocol] = append(monitors[cfg.Protocol], m)
+		if fl != nil {
+			flights[cfg.Protocol] = append(flights[cfg.Protocol], fl)
+		}
 		mu.Unlock()
 	}, false)
 	if err != nil {
@@ -67,5 +86,44 @@ func Drift(o Options) (*report.Table, map[Protocol]analysis.DriftSummary, error)
 	tb.Note = fmt.Sprintf(
 		"rel_err = (observed-expected)/expected at the empirical p_hat; "+
 			"batch-protocol weighted drift is test-gated at |rel_err| <= %.2f", DriftTolerance)
+	if o.FlightDir != "" {
+		if err := dumpDriftFlights(o.FlightDir, o.Protocols, summaries, flights); err != nil {
+			return tb, summaries, err
+		}
+	}
 	return tb, summaries, nil
+}
+
+// dumpDriftFlights writes the span traces of every protocol whose
+// weighted drift exceeds the tolerance. Runs are numbered in attachment
+// order, which under the parallel sweep is completion order — stable
+// enough for evidence files, whose content is per-run deterministic.
+func dumpDriftFlights(dir string, protocols []Protocol,
+	summaries map[Protocol]analysis.DriftSummary, flights map[Protocol][]*obs.Flight) error {
+
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: flight dir: %w", err)
+	}
+	for _, proto := range protocols {
+		s, ok := summaries[proto]
+		if !ok || math.Abs(s.WeightedRelErr) <= DriftTolerance {
+			continue
+		}
+		for i, fl := range flights[proto] {
+			path := filepath.Join(dir, fmt.Sprintf("flight_%s_run%d.jsonl", proto, i))
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("experiments: flight dump: %w", err)
+			}
+			werr := fl.WriteSpansJSONL(f)
+			cerr := f.Close()
+			if werr != nil {
+				return fmt.Errorf("experiments: flight dump %s: %w", path, werr)
+			}
+			if cerr != nil {
+				return fmt.Errorf("experiments: flight dump %s: %w", path, cerr)
+			}
+		}
+	}
+	return nil
 }

@@ -30,6 +30,12 @@ type Options struct {
 	// run of every sweep. The zero value keeps the paper's clean-channel
 	// setup.
 	Fault fault.Config
+	// FlightDir, when non-empty, makes Drift attach a flight recorder to
+	// every run and dump per-message span traces (one JSONL file per run)
+	// into the directory — but only for protocols whose weighted drift
+	// exceeds DriftTolerance, so a clean gate writes nothing and a
+	// tripped one ships the evidence for the drill-down.
+	FlightDir string
 }
 
 func (o Options) normal() Options {

@@ -116,6 +116,12 @@ type RunConfig struct {
 	// (internal/obs). Empty keeps the hook nil, the engine's zero-cost
 	// path.
 	SlotObservers []sim.SlotObserver
+	// Lifecycles are attached to the engine's lifecycle hook via
+	// sim.CombineLifecycleObservers — the fine-grained per-message feed
+	// (service start, round opens, response drops) behind flight
+	// recorders and conformance auditors (internal/obs). Empty keeps the
+	// hook nil, the engine's zero-cost path.
+	Lifecycles []sim.LifecycleObserver
 	// Tracer receives channel-level events (sim.Config.Tracer); nil keeps
 	// tracing off. The equivalence tests use it to compare optimized and
 	// reference transcripts frame by frame.
@@ -216,6 +222,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		Seed:         cfg.Seed ^ 0x1e3779b97f4a7c15, // decouple channel RNG from topology
 		Observer:     observer,
 		SlotObserver: sim.CombineSlotObservers(cfg.SlotObservers...),
+		Lifecycle:    sim.CombineLifecycleObservers(cfg.Lifecycles...),
 		Tracer:       cfg.Tracer,
 		Reference:    cfg.Reference,
 	})

@@ -23,8 +23,9 @@ var obswiringAnalyzer = &Analyzer{
 // observerKinds maps each fanned-out sim interface to its sanctioned
 // combinator function and combinator type.
 var observerKinds = map[string]struct{ combine, multi string }{
-	"Observer":     {"sim.CombineObservers", "MultiObserver"},
-	"SlotObserver": {"sim.CombineSlotObservers", "MultiSlotObserver"},
+	"Observer":          {"sim.CombineObservers", "MultiObserver"},
+	"SlotObserver":      {"sim.CombineSlotObservers", "MultiSlotObserver"},
+	"LifecycleObserver": {"sim.CombineLifecycleObservers", "MultiLifecycleObserver"},
 }
 
 func runObsWiring(p *Pass) {

@@ -43,3 +43,23 @@ func collectSlots(obs []sim.SlotObserver) sim.SlotObserver {
 	}
 	return sim.CombineSlotObservers(kept...)
 }
+
+// fanOutLifecycle hand-dispatches the lifecycle hook, bypassing
+// MultiLifecycleObserver's panic attribution: flagged.
+func fanOutLifecycle(obs []sim.LifecycleObserver, req *sim.Request, now sim.Slot) {
+	for _, o := range obs { // want `hand-rolled observer fan-out.*CombineLifecycleObservers`
+		o.OnServiceStart(req, now)
+	}
+}
+
+// collectLifecycle gathers lifecycle observers for the sanctioned
+// combinator: not a dispatch loop.
+func collectLifecycle(obs []sim.LifecycleObserver) sim.LifecycleObserver {
+	kept := make([]sim.LifecycleObserver, 0, len(obs))
+	for _, o := range obs {
+		if o != nil {
+			kept = append(kept, o)
+		}
+	}
+	return sim.CombineLifecycleObservers(kept...)
+}

@@ -436,6 +436,29 @@ func (r *Responder) Due(now sim.Slot) *frames.Frame {
 	return nil
 }
 
+// DueReport is Due with stale-drop accounting: every discarded frame is
+// handed to dropped before removal, so a lifecycle observer can see the
+// responses that silently died waiting for the medium. Due stays the
+// separate fast path — it runs every tick of every awake station.
+func (r *Responder) DueReport(now sim.Slot, dropped func(*frames.Frame)) *frames.Frame {
+	for i := 0; i < len(r.when); {
+		switch {
+		case r.when[i] < now:
+			if dropped != nil {
+				dropped(r.frame[i])
+			}
+			r.drop(i)
+		case r.when[i] == now:
+			f := r.frame[i]
+			r.drop(i)
+			return f
+		default:
+			i++
+		}
+	}
+	return nil
+}
+
 // Pending reports whether any response is scheduled at or after now.
 func (r *Responder) Pending(now sim.Slot) bool {
 	for _, t := range r.when {

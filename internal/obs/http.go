@@ -32,19 +32,25 @@ import (
 type MetricsServer struct {
 	reg *Registry
 
-	mu      sync.Mutex
-	ledgers map[string]*Ledger
-	gauges  map[string]func() float64
-	extras  map[string]func() any
+	mu       sync.Mutex
+	ledgers  map[string]*Ledger
+	gauges   map[string]func() float64
+	extras   map[string]func() any
+	tracers  map[string]*Tracer
+	flights  map[string]*Flight
+	auditors map[string]*Auditor
 }
 
 // NewMetricsServer builds a server over the given registry.
 func NewMetricsServer(reg *Registry) *MetricsServer {
 	return &MetricsServer{
-		reg:     reg,
-		ledgers: make(map[string]*Ledger),
-		gauges:  make(map[string]func() float64),
-		extras:  make(map[string]func() any),
+		reg:      reg,
+		ledgers:  make(map[string]*Ledger),
+		gauges:   make(map[string]func() float64),
+		extras:   make(map[string]func() any),
+		tracers:  make(map[string]*Tracer),
+		flights:  make(map[string]*Flight),
+		auditors: make(map[string]*Auditor),
 	}
 }
 
@@ -55,6 +61,33 @@ func (s *MetricsServer) AddLedger(name string, l *Ledger) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.ledgers[name] = l
+}
+
+// AddTracer includes a tracer's buffer-health counters (buffered,
+// dropped, capacity) in the JSON snapshot under "tracers", so an
+// operator watching a live run can tell whether the event window is
+// still complete or the ring has started overwriting.
+func (s *MetricsServer) AddTracer(name string, t *Tracer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tracers[name] = t
+}
+
+// AddFlight includes a flight recorder's live counters in the JSON
+// snapshot under "flights"; its stage histograms already live in the
+// registry when the Flight was built over one.
+func (s *MetricsServer) AddFlight(name string, f *Flight) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.flights[name] = f
+}
+
+// AddAuditor includes a conformance auditor's audited/violation counts
+// in the JSON snapshot under "audits".
+func (s *MetricsServer) AddAuditor(name string, a *Auditor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.auditors[name] = a
 }
 
 // Gauge registers a live value exported as a Prometheus gauge (and under
@@ -192,9 +225,30 @@ func (s *MetricsServer) serveSnapshot(w http.ResponseWriter, r *http.Request) {
 	for name, fn := range s.gauges {
 		gauges[name] = fn
 	}
+	tracers := make(map[string]TracerStats, len(s.tracers))
+	for name, t := range s.tracers {
+		tracers[name] = t.Stats()
+	}
+	flights := make(map[string]FlightStats, len(s.flights))
+	for name, f := range s.flights {
+		flights[name] = f.Stats()
+	}
+	audits := make(map[string]AuditStats, len(s.auditors))
+	for name, a := range s.auditors {
+		audits[name] = a.Stats()
+	}
 	s.mu.Unlock()
 	if len(ledgers) > 0 {
 		out["ledgers"] = ledgers
+	}
+	if len(tracers) > 0 {
+		out["tracers"] = tracers
+	}
+	if len(flights) > 0 {
+		out["flights"] = flights
+	}
+	if len(audits) > 0 {
+		out["audits"] = audits
 	}
 	if len(gauges) > 0 {
 		gv := make(map[string]float64, len(gauges))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync/atomic"
 
 	"relmac/internal/frames"
 	"relmac/internal/sim"
@@ -22,6 +23,9 @@ const DefaultTracerCapacity = 1 << 20
 // the most recent window instead of growing without bound.
 //
 // A Tracer is not safe for concurrent use; attach one per engine run.
+// The exception is the counters behind Stats and Dropped, which are
+// atomics so a live /snapshot endpoint can report buffer health while
+// the engine is still recording.
 type Tracer struct {
 	// Timing supplies frame airtimes for span durations in the exports;
 	// the zero value is replaced by frames.DefaultTiming. Set it to the
@@ -32,7 +36,17 @@ type Tracer struct {
 	buf      []Event // grows on demand up to capacity, then wraps
 	next     int     // ring write position
 	wrapped  bool    // buffer has overwritten at least one event
-	dropped  int64
+	buffered atomic.Int64
+	dropped  atomic.Int64
+}
+
+// TracerStats is the concurrency-safe buffer-health summary a live
+// endpoint reads: how many events are buffered, how many the ring has
+// overwritten, and the configured capacity.
+type TracerStats struct {
+	Buffered int64 `json:"buffered"`
+	Dropped  int64 `json:"dropped"`
+	Capacity int   `json:"capacity"`
 }
 
 // NewTracer builds a Tracer holding at most capacity events;
@@ -48,6 +62,7 @@ func NewTracer(capacity int) *Tracer {
 func (t *Tracer) record(ev Event) {
 	if len(t.buf) < t.capacity {
 		t.buf = append(t.buf, ev)
+		t.buffered.Store(int64(len(t.buf)))
 		return
 	}
 	t.buf[t.next] = ev
@@ -56,7 +71,7 @@ func (t *Tracer) record(ev Event) {
 		t.next = 0
 	}
 	t.wrapped = true
-	t.dropped++
+	t.dropped.Add(1)
 }
 
 // OnSubmit implements sim.Observer.
@@ -108,8 +123,18 @@ func (t *Tracer) timing() frames.Timing {
 func (t *Tracer) Len() int { return len(t.buf) }
 
 // Dropped returns how many events were overwritten after the ring
-// filled.
-func (t *Tracer) Dropped() int64 { return t.dropped }
+// filled. Safe to call while the engine is recording.
+func (t *Tracer) Dropped() int64 { return t.dropped.Load() }
+
+// Stats returns the buffer-health counters. Safe to call while the
+// engine is recording, unlike Events and the Write* exports.
+func (t *Tracer) Stats() TracerStats {
+	return TracerStats{
+		Buffered: t.buffered.Load(),
+		Dropped:  t.dropped.Load(),
+		Capacity: t.capacity,
+	}
+}
 
 // Events returns the buffered events oldest-first. The slice is freshly
 // allocated; mutating it does not disturb the tracer.
@@ -154,8 +179,8 @@ type jsonMeta struct {
 func (t *Tracer) WriteJSONL(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	if t.dropped > 0 {
-		if err := enc.Encode(jsonMeta{Event: "tracer-meta", Dropped: t.dropped, Buffered: t.Len()}); err != nil {
+	if dropped := t.dropped.Load(); dropped > 0 {
+		if err := enc.Encode(jsonMeta{Event: "tracer-meta", Dropped: dropped, Buffered: t.Len()}); err != nil {
 			return err
 		}
 	}
@@ -192,11 +217,14 @@ func (t *Tracer) WriteJSONL(w io.Writer) error {
 type chromeEvent struct {
 	Name string         `json:"name"`
 	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	ID   int64          `json:"id,omitempty"`
 	Ts   int64          `json:"ts"`
 	Dur  int64          `json:"dur,omitempty"`
 	Pid  int            `json:"pid"`
 	Tid  int            `json:"tid"`
 	S    string         `json:"s,omitempty"`
+	BP   string         `json:"bp,omitempty"`
 	Args map[string]any `json:"args,omitempty"`
 }
 
@@ -234,12 +262,12 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			Args: map[string]any{"name": fmt.Sprintf("station %d", id)},
 		})
 	}
-	if t.dropped > 0 {
+	if dropped := t.dropped.Load(); dropped > 0 {
 		// Metadata event surfacing ring-buffer overflow; absent from
 		// complete traces so their goldens stay byte-identical.
 		out = append(out, chromeEvent{
 			Name: "tracer_dropped", Ph: "M", Pid: 0,
-			Args: map[string]any{"dropped": t.dropped, "buffered": len(events)},
+			Args: map[string]any{"dropped": dropped, "buffered": len(events)},
 		})
 	}
 	for _, ev := range events {

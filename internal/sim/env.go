@@ -86,3 +86,38 @@ func (e *Env) ReportAbort(req *Request, reason AbortReason) {
 func (e *Env) ReportRound(req *Request, residual int) {
 	e.engine.observer.OnRound(req, residual, e.engine.now)
 }
+
+// LifecycleOn reports whether a lifecycle observer is attached. MAC code
+// whose lifecycle reporting needs setup beyond a plain call (the
+// Responder's stale-drop accounting) checks it first, so the disabled
+// path stays exactly the pre-hook code.
+func (e *Env) LifecycleOn() bool { return e.engine.lifecycle != nil }
+
+// ReportServiceStart notifies the lifecycle observer that the station
+// dequeued the request into service — the queueing/service boundary of
+// the flight recorder's span tree. A nil lifecycle observer makes this a
+// no-op.
+func (e *Env) ReportServiceStart(req *Request) {
+	if lc := e.engine.lifecycle; lc != nil {
+		lc.OnServiceStart(req, e.engine.now)
+	}
+}
+
+// ReportRoundStart notifies the lifecycle observer that a group protocol
+// is opening a round: round is the 1-based contention-phase ordinal,
+// polled the number of receivers the round will poll. A nil lifecycle
+// observer makes this a no-op.
+func (e *Env) ReportRoundStart(req *Request, round, polled int) {
+	if lc := e.engine.lifecycle; lc != nil {
+		lc.OnRoundStart(req, round, polled, e.engine.now)
+	}
+}
+
+// ReportResponseDrop notifies the lifecycle observer that this station
+// discarded a stale scheduled response. A nil lifecycle observer makes
+// this a no-op.
+func (e *Env) ReportResponseDrop(f *frames.Frame) {
+	if lc := e.engine.lifecycle; lc != nil {
+		lc.OnResponseDrop(e.node, f, e.engine.now)
+	}
+}

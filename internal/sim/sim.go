@@ -300,6 +300,13 @@ type Config struct {
 	// feed. Combine several with CombineSlotObservers. Nil keeps the
 	// per-slot loop free of any callback cost.
 	SlotObserver SlotObserver
+	// Lifecycle, when non-nil, receives the fine-grained per-message
+	// service events (service start, round start, stale-response drop) —
+	// the feed for flight recorders and conformance auditors
+	// (internal/obs). Combine several with CombineLifecycleObservers.
+	// Nil keeps every lifecycle report site a nil-check no-op, so runs
+	// stay byte-identical to the pre-hook engine.
+	Lifecycle LifecycleObserver
 	// SlotHook, when non-nil, runs at the start of every slot before
 	// traffic arrivals and MAC ticks. Mobility drivers use it to advance
 	// node positions and swap refreshed topologies in.
@@ -339,11 +346,12 @@ type Engine struct {
 	capture  capture.Model
 	errRate  float64
 	imp      Impairment
-	rng      *rand.Rand
-	observer Observer
-	tracer   Tracer
-	slotObs  SlotObserver
-	slotHook func(now Slot, e *Engine)
+	rng       *rand.Rand
+	observer  Observer
+	tracer    Tracer
+	slotObs   SlotObserver
+	lifecycle LifecycleObserver
+	slotHook  func(now Slot, e *Engine)
 
 	now    Slot
 	macs   []MAC
@@ -438,6 +446,7 @@ func New(cfg Config) *Engine {
 		observer:    obs,
 		tracer:      cfg.Tracer,
 		slotObs:     cfg.SlotObserver,
+		lifecycle:   cfg.Lifecycle,
 		slotHook:    hook,
 		macs:        make([]MAC, n),
 		envs:        make([]Env, n),
