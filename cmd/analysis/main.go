@@ -29,7 +29,7 @@ func main() {
 	q := flag.Float64("q", 0.05, "per-receiver CTS-miss probability (Table 1)")
 	mc := flag.Int("mc", 50000, "Monte-Carlo trials validating f_n (0 disables)")
 	seed := flag.Int64("seed", 1, "RNG seed for the Monte-Carlo column")
-	drift := flag.Int("drift", 0, "simulation runs per protocol for the analytic-drift table on the Figure 6 config (0 disables; gated in tests at |rel_err| <= experiments.DriftTolerance)")
+	drift := flag.Int("drift", 0, fmt.Sprintf("simulation runs per protocol for the analytic-drift table on the Figure 6 config (0 disables; gated in tests at |rel_err| <= experiments.DriftTolerance = %.2f)", experiments.DriftTolerance))
 	driftSlots := flag.Int("driftslots", 5000, "simulated slots per drift run")
 	flag.Parse()
 

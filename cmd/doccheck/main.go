@@ -1,0 +1,179 @@
+// Command doccheck validates the repository's markdown documentation:
+// every inline link must resolve. Relative links must point at an
+// existing file or directory, and fragment links — `#section` within a
+// file or `OTHER.md#section` across files — must match a real heading
+// under GitHub's anchor-slug rules. External http(s) and mailto links
+// are not fetched (CI must not depend on the network); they are only
+// counted.
+//
+// Usage:
+//
+//	go run ./cmd/doccheck [file.md ...]
+//
+// With no arguments it checks README.md, DESIGN.md, EXPERIMENTS.md and
+// ROADMAP.md. Exit status is 1 when any link is broken, 2 on I/O
+// errors. Code spans and fenced code blocks are ignored, so godoc-style
+// snippets cannot false-positive.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+var defaultFiles = []string{"README.md", "DESIGN.md", "EXPERIMENTS.md", "ROADMAP.md"}
+
+// linkRe matches an inline markdown link or image and captures the
+// destination up to the first space or closing parenthesis (titles and
+// size hints are irrelevant to resolution).
+var linkRe = regexp.MustCompile(`!?\[[^\]]*\]\(([^)\s]+)[^)]*\)`)
+
+// headingRe matches an ATX heading and captures its text.
+var headingRe = regexp.MustCompile(`^#{1,6}\s+(.*?)\s*#*\s*$`)
+
+// codeSpanRe strips inline code spans so link-shaped text inside
+// backticks is not parsed.
+var codeSpanRe = regexp.MustCompile("`[^`]*`")
+
+func main() {
+	files := os.Args[1:]
+	if len(files) == 0 {
+		files = defaultFiles
+	}
+	broken, external := 0, 0
+	anchorCache := map[string]map[string]bool{}
+	for _, f := range files {
+		b, e := checkFile(f, anchorCache)
+		broken += b
+		external += e
+	}
+	fmt.Fprintf(os.Stderr, "doccheck: %d file(s), %d external link(s) skipped, %d broken\n",
+		len(files), external, broken)
+	if broken > 0 {
+		os.Exit(1)
+	}
+}
+
+// checkFile validates every link in one markdown file and returns the
+// broken and external link counts.
+func checkFile(path string, anchorCache map[string]map[string]bool) (broken, external int) {
+	lines, ok := readLines(path)
+	if !ok {
+		return 1, 0
+	}
+	dir := filepath.Dir(path)
+	inFence := false
+	for i, line := range lines {
+		if strings.HasPrefix(strings.TrimSpace(line), "```") {
+			inFence = !inFence
+			continue
+		}
+		if inFence {
+			continue
+		}
+		line = codeSpanRe.ReplaceAllString(line, "")
+		for _, m := range linkRe.FindAllStringSubmatch(line, -1) {
+			dest := m[1]
+			switch {
+			case strings.HasPrefix(dest, "http://"), strings.HasPrefix(dest, "https://"), strings.HasPrefix(dest, "mailto:"):
+				external++
+			case strings.HasPrefix(dest, "#"):
+				if !hasAnchor(path, dest[1:], anchorCache) {
+					fmt.Fprintf(os.Stderr, "%s:%d: broken anchor %q (no matching heading)\n", path, i+1, dest)
+					broken++
+				}
+			default:
+				file, frag, _ := strings.Cut(dest, "#")
+				target := filepath.Join(dir, filepath.FromSlash(file))
+				if _, err := os.Stat(target); err != nil {
+					fmt.Fprintf(os.Stderr, "%s:%d: broken link %q (%s does not exist)\n", path, i+1, dest, target)
+					broken++
+					continue
+				}
+				if frag != "" {
+					if !strings.HasSuffix(strings.ToLower(file), ".md") {
+						continue // fragments into non-markdown targets are not checkable
+					}
+					if !hasAnchor(target, frag, anchorCache) {
+						fmt.Fprintf(os.Stderr, "%s:%d: broken anchor %q (no matching heading in %s)\n", path, i+1, dest, target)
+						broken++
+					}
+				}
+			}
+		}
+	}
+	return broken, external
+}
+
+// hasAnchor reports whether the markdown file contains a heading whose
+// GitHub slug equals the fragment, building and caching the slug set on
+// first use.
+func hasAnchor(path, frag string, cache map[string]map[string]bool) bool {
+	slugs, ok := cache[path]
+	if !ok {
+		slugs = map[string]bool{}
+		lines, readOK := readLines(path)
+		if readOK {
+			seen := map[string]int{}
+			inFence := false
+			for _, line := range lines {
+				if strings.HasPrefix(strings.TrimSpace(line), "```") {
+					inFence = !inFence
+					continue
+				}
+				if inFence {
+					continue
+				}
+				m := headingRe.FindStringSubmatch(line)
+				if m == nil {
+					continue
+				}
+				s := slugify(m[1])
+				if n := seen[s]; n > 0 {
+					slugs[fmt.Sprintf("%s-%d", s, n)] = true
+				} else {
+					slugs[s] = true
+				}
+				seen[s]++
+			}
+		}
+		cache[path] = slugs
+	}
+	return slugs[strings.ToLower(frag)]
+}
+
+// slugify applies GitHub's heading-anchor rules: lowercase, drop
+// everything but letters, digits, spaces, hyphens and underscores, then
+// turn spaces into hyphens. Inline code markers and link syntax are
+// stripped first.
+func slugify(heading string) string {
+	heading = codeSpanRe.ReplaceAllStringFunc(heading, func(s string) string {
+		return strings.Trim(s, "`")
+	})
+	var b strings.Builder
+	for _, r := range strings.ToLower(heading) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		case r == ' ':
+			b.WriteByte('-')
+		case r > 127: // non-ASCII letters survive slugging
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// readLines reads a file and splits it into lines, reporting failure to
+// stderr.
+func readLines(path string) ([]string, bool) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "doccheck: %v\n", err)
+		return nil, false
+	}
+	return strings.Split(string(data), "\n"), true
+}

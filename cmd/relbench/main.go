@@ -72,6 +72,11 @@ func main() {
 			report.Profile, report.Engine.Optimized.NsPerSlot,
 			report.Engine.Optimized.AllocsPerSlot,
 			report.Engine.Reference.NsPerSlot, report.Engine.Speedup)
+		if s := report.Sparse; s != nil {
+			fmt.Printf("  sparse: optimized %.0f ns/slot (%.2f allocs/slot), reference %.0f ns/slot, speedup %.2fx\n",
+				s.Optimized.NsPerSlot, s.Optimized.AllocsPerSlot,
+				s.Reference.NsPerSlot, s.Speedup)
+		}
 		for _, p := range report.Protocols {
 			fmt.Printf("  %-8s %6d slots in %8.1f ms (%.0f slots/sec)\n",
 				p.Protocol, p.Slots, p.WallMs, p.SlotsPerSec)

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 
@@ -45,6 +46,8 @@ func (s *alertSource) Arrivals(now sim.Slot, rng *rand.Rand) []*sim.Request {
 }
 
 func main() {
+	seedBase := flag.Int64("seed", 1000, "base RNG seed; trial t uses seed+t")
+	flag.Parse()
 	const (
 		nodes   = 100
 		radius  = 0.2
@@ -62,7 +65,7 @@ func main() {
 		var reach, latency float64
 		completed := 0
 		for trial := 0; trial < trials; trial++ {
-			seed := int64(1000 + trial)
+			seed := *seedBase + int64(trial)
 			rng := rand.New(rand.NewSource(seed))
 			tp := topo.Uniform(nodes, radius, rng)
 

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math"
 
@@ -34,6 +35,9 @@ func (printer) RxOK(*frames.Frame, int, sim.Slot)   {}
 func (printer) RxLost(*frames.Frame, int, sim.Slot) {}
 
 func main() {
+	seed := flag.Int64("seed", 0, "engine RNG seed (channel randomness: backoff draws, capture)")
+	flag.Parse()
+
 	// A sender and a tight cluster of receivers: five on a small ring
 	// plus two in its interior. Ring nodes are convex-hull vertices and
 	// must be polled (each has an outward coverage gap); the interior
@@ -51,7 +55,7 @@ func main() {
 	// Wire up the engine with metrics and a transmission trace, and run
 	// the Location Aware Multicast MAC on every station.
 	col := metrics.NewCollector()
-	eng := sim.New(sim.Config{Topo: tp, Observer: col, Tracer: printer{}})
+	eng := sim.New(sim.Config{Topo: tp, Seed: *seed, Observer: col, Tracer: printer{}})
 	eng.AttachMACs(core.NewLAMM(mac.DefaultConfig()))
 
 	// Submit one multicast from station 0 to all seven receivers with a

@@ -15,6 +15,7 @@
 package main
 
 import (
+	"flag"
 	"fmt"
 	"math/rand"
 
@@ -108,6 +109,8 @@ func (f *flood) coverage() (float64, sim.Slot) {
 }
 
 func main() {
+	seedBase := flag.Int64("seed", 40, "base RNG seed; trial t uses seed+t")
+	flag.Parse()
 	const (
 		nodes  = 120
 		radius = 0.15
@@ -122,7 +125,7 @@ func main() {
 		var reachSum, reachMin, timeSum, framesSum float64
 		reachMin = 1
 		for trial := 0; trial < trials; trial++ {
-			seed := int64(40 + trial)
+			seed := *seedBase + int64(trial)
 			rng := rand.New(rand.NewSource(seed))
 			tp := topo.Uniform(nodes, radius, rng)
 			// Flood from the station nearest the origin corner.

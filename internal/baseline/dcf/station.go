@@ -152,6 +152,12 @@ func (st *Station) Quiescent(after sim.Slot) bool {
 // history would hold had it observed every skipped slot.
 func (st *Station) Wake(idleRun int) { st.hist.Restore(idleRun) }
 
+// WakeExtend implements sim.Sleeper: every skipped slot was idle, so
+// the retained streak simply lengthens by the skipped count — the form
+// the engine uses when the absolute idle run may include slots this
+// station's history legitimately never observed (crash windows).
+func (st *Station) WakeExtend(skipped int) { st.hist.Extend(skipped) }
+
 // dueResponse pulls the response due this slot. With a lifecycle
 // observer attached, stale responses are reported as they are discarded;
 // without one the pre-hook fast path runs unchanged.

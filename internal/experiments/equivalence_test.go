@@ -16,6 +16,7 @@ import (
 	"testing"
 
 	"relmac/internal/experiments"
+	"relmac/internal/fault"
 	"relmac/internal/frames"
 	"relmac/internal/obs"
 	"relmac/internal/sim"
@@ -97,6 +98,159 @@ func TestOptimizedMatchesReference(t *testing.T) {
 			if !bytes.Equal(optSum, refSum) {
 				t.Errorf("summaries diverged:\n  optimized: %s\n  reference: %s", optSum, refSum)
 			}
+		})
+	}
+}
+
+// witnesses bundles every equality witness one observer-laden run can
+// produce: the channel transcript, the traced observer event stream,
+// the metric summary, the airtime ledger snapshot and the conformance
+// auditor's statistics and findings report.
+type witnesses struct {
+	transcript []string
+	events     []byte
+	summary    []byte
+	ledger     []byte
+	audit      []byte
+}
+
+// runFull executes one run with the full observer stack attached — the
+// channel tracer, an airtime ledger on both the Observer and the
+// SlotObserver hook, and a conformance auditor on the Observer and
+// Lifecycle hooks — and collects every witness. mutate customises the
+// configuration before the run (traffic mode, impairments, slot count).
+func runFull(t *testing.T, proto experiments.Protocol, reference bool,
+	mutate func(cfg *experiments.RunConfig)) witnesses {
+	t.Helper()
+	cfg := experiments.Defaults(proto, 11)
+	cfg.Slots = 2000
+	cfg.Reference = reference
+
+	tracer := obs.NewTracer(1 << 20)
+	ch := &transcript{}
+	cfg.Tracer = ch
+	reg := obs.NewRegistry()
+	led := obs.NewLedger(reg, "eq")
+	ap, ok := obs.AuditProtocolFor(string(proto))
+	if !ok {
+		t.Fatalf("no audit model for %s", proto)
+	}
+	aud := obs.NewAuditor(ap, cfg.MAC.RetryLimit)
+	cfg.Observers = []sim.Observer{tracer, led, aud}
+	cfg.SlotObservers = []sim.SlotObserver{led}
+	cfg.Lifecycles = []sim.LifecycleObserver{aud}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+
+	res, err := experiments.Run(cfg)
+	if err != nil {
+		t.Fatalf("%s reference=%v: %v", proto, reference, err)
+	}
+	if tracer.Dropped() != 0 {
+		t.Fatalf("%s: tracer dropped %d events; raise capacity", proto, tracer.Dropped())
+	}
+	var w witnesses
+	w.transcript = ch.lines
+	var events bytes.Buffer
+	if err := tracer.WriteJSONL(&events); err != nil {
+		t.Fatal(err)
+	}
+	w.events = events.Bytes()
+	if w.summary, err = json.Marshal(res.Summary); err != nil {
+		t.Fatal(err)
+	}
+	snap := led.Snapshot()
+	if !snap.Conserved() {
+		t.Fatalf("%s reference=%v: ledger not conserved: %+v", proto, reference, snap)
+	}
+	if w.ledger, err = json.Marshal(snap); err != nil {
+		t.Fatal(err)
+	}
+	var audit bytes.Buffer
+	fmt.Fprintf(&audit, "audited=%d violations=%d\n", aud.Audited(), aud.Violations())
+	for _, f := range aud.Findings() {
+		fmt.Fprintf(&audit, "slot %d msg %d station %d [%s] %s\n", f.Slot, f.MsgID, f.Station, f.Rule, f.Detail)
+	}
+	w.audit = audit.Bytes()
+	return w
+}
+
+// diffWitnesses fails the test on the first diverging witness.
+func diffWitnesses(t *testing.T, opt, ref witnesses) {
+	t.Helper()
+	if len(opt.transcript) != len(ref.transcript) {
+		t.Fatalf("transcript length diverged: optimized %d events, reference %d",
+			len(opt.transcript), len(ref.transcript))
+	}
+	for i := range opt.transcript {
+		if opt.transcript[i] != ref.transcript[i] {
+			t.Fatalf("transcript diverged at event %d:\n  optimized: %s\n  reference: %s",
+				i, opt.transcript[i], ref.transcript[i])
+		}
+	}
+	if !bytes.Equal(opt.events, ref.events) {
+		t.Error("observer event streams diverged")
+	}
+	if !bytes.Equal(opt.summary, ref.summary) {
+		t.Errorf("summaries diverged:\n  optimized: %s\n  reference: %s", opt.summary, ref.summary)
+	}
+	if !bytes.Equal(opt.ledger, ref.ledger) {
+		t.Errorf("ledger snapshots diverged:\n  optimized: %s\n  reference: %s", opt.ledger, ref.ledger)
+	}
+	if !bytes.Equal(opt.audit, ref.audit) {
+		t.Errorf("audit reports diverged:\n  optimized: %s\n  reference: %s", opt.audit, ref.audit)
+	}
+}
+
+// TestOptimizedMatchesReferenceSkipping is the differential gate for the
+// event clock: sparse event-driven traffic leaves long idle stretches
+// the optimized engine jumps over, and the run must stay byte-identical
+// to the reference engine ticking every slot — transcripts, event
+// streams, summaries, the airtime ledger (fed idle spans in bulk on the
+// optimized side, slot by slot on the reference side) and the
+// conformance auditor all agree for every protocol.
+func TestOptimizedMatchesReferenceSkipping(t *testing.T) {
+	sparse := func(cfg *experiments.RunConfig) {
+		cfg.EventTraffic = true
+		cfg.Rate = 0.00025
+		cfg.Slots = 4000
+	}
+	for _, proto := range experiments.AllProtocols {
+		t.Run(string(proto), func(t *testing.T) {
+			opt := runFull(t, proto, false, sparse)
+			ref := runFull(t, proto, true, sparse)
+			if len(opt.transcript) == 0 {
+				t.Fatal("sparse run produced no traffic; the comparison is vacuous")
+			}
+			diffWitnesses(t, opt, ref)
+		})
+	}
+}
+
+// TestOptimizedMatchesReferenceImpaired adds the impairment subsystem to
+// the skipping gate: i.i.d. frame erasures plus node crash/recover
+// schedules, whose up/down transitions become wake obligations on the
+// optimized path. The injector's lazily materialised schedules must end
+// in the identical state either way.
+func TestOptimizedMatchesReferenceImpaired(t *testing.T) {
+	impaired := func(cfg *experiments.RunConfig) {
+		cfg.EventTraffic = true
+		cfg.Rate = 0.00025
+		cfg.Slots = 4000
+		cfg.Fault = fault.Config{
+			PER:   0.02,
+			Crash: fault.Crash{MTTF: 1500, MTTR: 150},
+		}
+	}
+	for _, proto := range experiments.AllProtocols {
+		t.Run(string(proto), func(t *testing.T) {
+			opt := runFull(t, proto, false, impaired)
+			ref := runFull(t, proto, true, impaired)
+			if len(opt.transcript) == 0 {
+				t.Fatal("impaired run produced no traffic; the comparison is vacuous")
+			}
+			diffWitnesses(t, opt, ref)
 		})
 	}
 }

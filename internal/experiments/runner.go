@@ -130,6 +130,15 @@ type RunConfig struct {
 	// for LAMM, disables the MCS memo. Results are bit-identical with the
 	// flag on and off; it exists for equivalence tests and cmd/relbench.
 	Reference bool
+	// EventTraffic switches the generator to its event-driven renewal
+	// form (traffic.Generator.EventDriven): arrivals are drawn by
+	// inter-arrival gap instead of per-slot Bernoulli trials, which
+	// makes empty slots PRNG-free and lets the engine's event clock
+	// skip them. Trajectories differ from the default mode at the same
+	// seed (the PRNG is consumed differently), so the paper sweeps keep
+	// the default; the sparse-traffic benchmarks and the skipping
+	// equivalence tests opt in.
+	EventTraffic bool
 }
 
 // Defaults returns the paper's Table 2 configuration for the given
@@ -231,6 +240,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 	gen.Rate = cfg.Rate
 	gen.Mix = cfg.Mix
 	gen.Timeout = cfg.Timeout
+	gen.EventDriven = cfg.EventTraffic
 	eng.Run(cfg.Slots, gen)
 	horizon := sim.Slot(cfg.Slots)
 	return RunResult{

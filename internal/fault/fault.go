@@ -309,6 +309,21 @@ func (inj *Injector) Down(station int, now sim.Slot) bool {
 	return s.down
 }
 
+// NextCrashChange implements sim.CrashScheduler: it returns the next
+// slot strictly after now at which the station's up/down state flips,
+// or ok=false when no crash axis is configured. It advances the lazily
+// materialised schedule exactly as a Down query at the same slot would
+// — same catch-up loop, same hash-stream draws, same crashDowns
+// accounting — so the engine's slot-skipping path leaves the injector
+// in the byte-identical state the per-slot reference path reaches.
+func (inj *Injector) NextCrashChange(station int, now sim.Slot) (sim.Slot, bool) {
+	if inj.nodes == nil {
+		return 0, false
+	}
+	inj.Down(station, now)
+	return inj.nodes[station].until, true
+}
+
 // drawInterval draws an exponential interval (mean slots, minimum one
 // slot) from the node's private hash stream.
 func (inj *Injector) drawInterval(station int, s *nodeSched, mean float64) sim.Slot {

@@ -1,0 +1,34 @@
+package lint
+
+import "strings"
+
+// docpresentAnalyzer requires every sim-path package to carry a package
+// doc comment. The sim-path packages hold the invariants the rest of
+// the suite enforces mechanically — determinism, PRNG ordering,
+// single-threaded slot resolution — and the package doc is where those
+// contracts are stated for humans: the role of the package, its
+// determinism constraints, and its entry points. A sim-path package
+// without one leaves its next maintainer to reverse-engineer the
+// contract from the checks that fire when it is broken.
+//
+// The doc may live atop any file of the package (a dedicated doc.go or
+// the main source file); only its presence is checked, not its content.
+var docpresentAnalyzer = &Analyzer{
+	Name: "docpresent",
+	Doc:  "sim-path packages must have a package doc comment",
+	Run:  runDocpresent,
+}
+
+func runDocpresent(p *Pass) {
+	if !p.Cfg.inSimPath(p.Path) {
+		return
+	}
+	for _, file := range p.Files {
+		if file.Doc != nil && strings.TrimSpace(file.Doc.Text()) != "" {
+			return
+		}
+	}
+	// Files are in filename order, so the anchor is deterministic.
+	p.Reportf(p.Files[0].Name.Pos(),
+		"sim-path package %s has no package doc comment; document its role, determinism constraints and entry points", p.Path)
+}

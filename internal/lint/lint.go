@@ -17,7 +17,9 @@
 //     loops, preserving panic attribution;
 //   - simsafe: no goroutine spawns and no sync.Pool in the packages that
 //     run inside the slot loop — recycling there must use explicit
-//     deterministic free-lists, and the loop stays single-threaded.
+//     deterministic free-lists, and the loop stays single-threaded;
+//   - docpresent: every sim-path package carries a package doc comment
+//     stating its role, determinism constraints and entry points.
 //
 // A finding can be suppressed per line with a
 //
@@ -171,6 +173,7 @@ func Analyzers() []*Analyzer {
 		frameswitchAnalyzer,
 		obswiringAnalyzer,
 		simsafeAnalyzer,
+		docpresentAnalyzer,
 	}
 }
 

@@ -77,6 +77,8 @@ func TestFixtures(t *testing.T) {
 		{"obswiring/fix", nil},
 		{"simsafe/bad", func(c *Config) { c.SerialPaths = []string{"fix/simsafe"} }},
 		{"simsafe/good", func(c *Config) { c.SerialPaths = []string{"fix/simsafe"} }},
+		{"docpresent/bad", func(c *Config) { c.SimPaths = []string{"fix/docpresent"} }},
+		{"docpresent/good", func(c *Config) { c.SimPaths = []string{"fix/docpresent"} }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rel, func(t *testing.T) {
@@ -198,7 +200,8 @@ func TestMutationGuardDeterminism(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const clean = `package simfix
+	const clean = `// Package simfix is a mutation-guard fixture.
+package simfix
 
 import "time"
 
@@ -206,7 +209,8 @@ func stamp(clock func() time.Time) time.Time {
 	return clock()
 }
 `
-	const mutated = `package simfix
+	const mutated = `// Package simfix is a mutation-guard fixture.
+package simfix
 
 import "time"
 
@@ -245,7 +249,7 @@ func stamp(clock func() time.Time) time.Time {
 		t.Fatalf("mutated fixture: findings = %v, want exactly one", res.Findings)
 	}
 	f := res.Findings[0]
-	if f.Check != "determinism" || !strings.Contains(f.Message, "time.Now") || f.Line != 7 {
-		t.Errorf("mutated fixture: got %s, want a determinism finding for time.Now at line 7", f)
+	if f.Check != "determinism" || !strings.Contains(f.Message, "time.Now") || f.Line != 8 {
+		t.Errorf("mutated fixture: got %s, want a determinism finding for time.Now at line 8", f)
 	}
 }

@@ -1,0 +1,4 @@
+package bad // want `sim-path package fix/docpresent/bad has no package doc comment`
+
+// A declaration comment is not a package doc.
+func Undocumented() int { return 1 }

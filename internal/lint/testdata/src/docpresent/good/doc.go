@@ -1,0 +1,3 @@
+// Package good documents its role, determinism constraints and entry
+// points, which is all the docpresent check asks for.
+package good

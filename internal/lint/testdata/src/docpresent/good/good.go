@@ -1,0 +1,4 @@
+package good
+
+// Documented is reachable from the documented package clause in doc.go.
+func Documented() int { return 1 }

@@ -211,6 +211,14 @@ func (h *ChannelHistory) IdleRun() int { return h.idleRun }
 // channel's busy/idle series, which the engine tracks for every station.
 func (h *ChannelHistory) Restore(run int) { h.idleRun = run }
 
+// Extend lengthens the idle streak by n slots without resetting it. The
+// engine's idle-station scheduler calls it (via sim.Sleeper's
+// WakeExtend) when every skipped slot was idle: the streak the station
+// retained when it stopped observing simply continues, which matters
+// for stations whose history froze through a crash window and so cannot
+// be overwritten with the channel's absolute idle run.
+func (h *ChannelHistory) Extend(n int) { h.idleRun += n }
+
 // DefaultDIFS is the sender inter-frame space in slots: a station may
 // begin (or count down) contention only after this many consecutive idle
 // slots, so 1-slot response turnarounds inside an exchange can never be

@@ -32,7 +32,13 @@ import (
 )
 
 // Schema identifies the BENCH.json layout; bump on incompatible change.
-const Schema = 1
+// Schema 2 added the sparse-traffic engine pair (Report.Sparse).
+const Schema = 2
+
+// SparseRate is the message generation rate of the sparse engine pair:
+// the lowest-λ point of the Figure 6(b) sweep (experiments.RatePoints[0]),
+// the regime where the event clock's idle-stretch skipping dominates.
+const SparseRate = 0.00025
 
 // Profile names a measurement size. Quick keeps CI smoke runs in tens of
 // seconds; Full is for committed baselines and perf investigations.
@@ -41,6 +47,10 @@ type Profile struct {
 	Name string
 	// EngineSlots is the slot count for the engine throughput pair.
 	EngineSlots int
+	// SparseSlots is the slot count for the sparse-traffic engine pair
+	// (event-driven arrivals at SparseRate); larger than EngineSlots
+	// because the optimized side skips most slots.
+	SparseSlots int
 	// ProtocolSlots is the slot count for each per-protocol run.
 	ProtocolSlots int
 	// Reps is how many times each measurement repeats; the fastest rep
@@ -49,10 +59,10 @@ type Profile struct {
 }
 
 // Quick is the CI smoke profile.
-var Quick = Profile{Name: "quick", EngineSlots: 120_000, ProtocolSlots: 15_000, Reps: 3}
+var Quick = Profile{Name: "quick", EngineSlots: 120_000, SparseSlots: 240_000, ProtocolSlots: 15_000, Reps: 3}
 
 // Full is the baseline-quality profile.
-var Full = Profile{Name: "full", EngineSlots: 600_000, ProtocolSlots: 60_000, Reps: 3}
+var Full = Profile{Name: "full", EngineSlots: 600_000, SparseSlots: 1_200_000, ProtocolSlots: 60_000, Reps: 3}
 
 // EngineSample is one measured engine configuration.
 type EngineSample struct {
@@ -80,10 +90,15 @@ type ProtocolSample struct {
 
 // Report is the BENCH.json document.
 type Report struct {
-	Schema    int              `json:"schema"`
-	Profile   string           `json:"profile"`
-	GoVersion string           `json:"go"`
-	Engine    Engine           `json:"engine"`
+	Schema    int    `json:"schema"`
+	Profile   string `json:"profile"`
+	GoVersion string `json:"go"`
+	Engine    Engine `json:"engine"`
+	// Sparse is the engine pair under sparse event-driven traffic
+	// (SparseRate, EventTraffic on) — the workload where the event
+	// clock's slot skipping pays off. Nil in reports produced before
+	// schema 2.
+	Sparse    *Engine          `json:"sparse,omitempty"`
 	Protocols []ProtocolSample `json:"protocols"`
 }
 
@@ -102,16 +117,28 @@ func Measure(p Profile, report func(string)) (*Report, error) {
 	out := &Report{Schema: Schema, Profile: p.Name, GoVersion: runtime.Version()}
 
 	say("engine throughput: optimized, %d slots x%d", p.EngineSlots, p.Reps)
-	opt, err := measureEngine(false, p.EngineSlots, p.Reps)
+	opt, err := measureEngine(false, false, p.EngineSlots, p.Reps)
 	if err != nil {
 		return nil, err
 	}
 	say("engine throughput: reference, %d slots x%d", p.EngineSlots, p.Reps)
-	ref, err := measureEngine(true, p.EngineSlots, p.Reps)
+	ref, err := measureEngine(true, false, p.EngineSlots, p.Reps)
 	if err != nil {
 		return nil, err
 	}
 	out.Engine = Engine{Optimized: opt, Reference: ref, Speedup: ref.NsPerSlot / opt.NsPerSlot}
+
+	say("sparse engine throughput: optimized, %d slots x%d", p.SparseSlots, p.Reps)
+	sopt, err := measureEngine(false, true, p.SparseSlots, p.Reps)
+	if err != nil {
+		return nil, err
+	}
+	say("sparse engine throughput: reference, %d slots x%d", p.SparseSlots, p.Reps)
+	sref, err := measureEngine(true, true, p.SparseSlots, p.Reps)
+	if err != nil {
+		return nil, err
+	}
+	out.Sparse = &Engine{Optimized: sopt, Reference: sref, Speedup: sref.NsPerSlot / sopt.NsPerSlot}
 
 	for _, proto := range experiments.AllProtocols {
 		say("protocol sweep: %s, %d slots", proto, p.ProtocolSlots)
@@ -125,16 +152,22 @@ func Measure(p Profile, report func(string)) (*Report, error) {
 }
 
 // measureEngine times the default BMMM workload (the same configuration
-// as BenchmarkEngineThroughput) and reports per-slot cost. Allocation
-// counts come from runtime.MemStats deltas around the run; setup costs
+// as BenchmarkEngineThroughput) and reports per-slot cost. sparse
+// switches to event-driven traffic at SparseRate — the workload where
+// the event clock skips idle stretches wholesale. Allocation counts
+// come from runtime.MemStats deltas around the run; setup costs
 // (topology construction, MAC attachment) are amortized over the slot
 // count and are negligible at profile sizes.
-func measureEngine(reference bool, slots, reps int) (EngineSample, error) {
+func measureEngine(reference, sparse bool, slots, reps int) (EngineSample, error) {
 	var best EngineSample
 	for r := 0; r < reps; r++ {
 		cfg := experiments.Defaults(experiments.BMMM, 3)
 		cfg.Slots = slots
 		cfg.Reference = reference
+		if sparse {
+			cfg.EventTraffic = true
+			cfg.Rate = SparseRate
+		}
 
 		var before, after runtime.MemStats
 		runtime.GC()
@@ -206,10 +239,30 @@ func Compare(r *Report, base Baseline, tolerance float64) (regressions []string,
 			"optimized allocs/slot %.2f above baseline %.2f + %.0f%% = %.2f",
 			r.Engine.Optimized.AllocsPerSlot, pin.Engine.Optimized.AllocsPerSlot, tolerance*100, maxAllocs))
 	}
+	if r.Sparse != nil && pin.Sparse != nil {
+		minSparse := pin.Sparse.Speedup * (1 - tolerance)
+		if r.Sparse.Speedup < minSparse {
+			regressions = append(regressions, fmt.Sprintf(
+				"sparse engine speedup %.2fx below baseline %.2fx - %.0f%% = %.2fx",
+				r.Sparse.Speedup, pin.Sparse.Speedup, tolerance*100, minSparse))
+		}
+		maxSparseAllocs := pin.Sparse.Optimized.AllocsPerSlot*(1+tolerance) + 0.25
+		if r.Sparse.Optimized.AllocsPerSlot > maxSparseAllocs {
+			regressions = append(regressions, fmt.Sprintf(
+				"sparse optimized allocs/slot %.2f above baseline %.2f + %.0f%% = %.2f",
+				r.Sparse.Optimized.AllocsPerSlot, pin.Sparse.Optimized.AllocsPerSlot, tolerance*100, maxSparseAllocs))
+		}
+	}
 	advisories = append(advisories, fmt.Sprintf(
 		"ns/slot optimized %.0f (baseline %.0f), reference %.0f (baseline %.0f) - informational, machine-dependent",
 		r.Engine.Optimized.NsPerSlot, pin.Engine.Optimized.NsPerSlot,
 		r.Engine.Reference.NsPerSlot, pin.Engine.Reference.NsPerSlot))
+	if r.Sparse != nil && pin.Sparse != nil {
+		advisories = append(advisories, fmt.Sprintf(
+			"sparse ns/slot optimized %.0f (baseline %.0f), reference %.0f (baseline %.0f) - informational, machine-dependent",
+			r.Sparse.Optimized.NsPerSlot, pin.Sparse.Optimized.NsPerSlot,
+			r.Sparse.Reference.NsPerSlot, pin.Sparse.Reference.NsPerSlot))
+	}
 	return regressions, advisories
 }
 

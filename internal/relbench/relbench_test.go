@@ -7,7 +7,7 @@ import (
 )
 
 // tiny is a test-sized profile so the suite stays fast.
-var tiny = Profile{Name: "tiny", EngineSlots: 1500, ProtocolSlots: 400, Reps: 1}
+var tiny = Profile{Name: "tiny", EngineSlots: 1500, SparseSlots: 3000, ProtocolSlots: 400, Reps: 1}
 
 func TestMeasureProducesCompleteReport(t *testing.T) {
 	r, err := Measure(tiny, nil)
@@ -22,6 +22,12 @@ func TestMeasureProducesCompleteReport(t *testing.T) {
 	}
 	if r.Engine.Speedup <= 0 {
 		t.Fatalf("bad speedup: %v", r.Engine.Speedup)
+	}
+	if r.Sparse == nil {
+		t.Fatal("schema-2 report missing the sparse engine pair")
+	}
+	if r.Sparse.Optimized.NsPerSlot <= 0 || r.Sparse.Reference.NsPerSlot <= 0 || r.Sparse.Speedup <= 0 {
+		t.Fatalf("bad sparse pair: %+v", r.Sparse)
 	}
 	if len(r.Protocols) != 5 {
 		t.Fatalf("want 5 protocol samples, got %d", len(r.Protocols))
@@ -71,6 +77,37 @@ func TestCompareGates(t *testing.T) {
 	if regs, _ := Compare(leaky, base, 0.25); len(regs) != 1 {
 		t.Fatalf("alloc regression not flagged: %v", regs)
 	}
+
+	// Sparse gating: a baseline with a sparse pin flags a sparse slowdown.
+	pin.Sparse = &Engine{
+		Optimized: EngineSample{NsPerSlot: 200, AllocsPerSlot: 0.5},
+		Reference: EngineSample{NsPerSlot: 2000},
+		Speedup:   10.0,
+	}
+	sparseSlow := &Report{Schema: Schema, Profile: "quick", Engine: pin.Engine,
+		Sparse: &Engine{
+			Optimized: EngineSample{NsPerSlot: 500, AllocsPerSlot: 0.5},
+			Reference: EngineSample{NsPerSlot: 2000},
+			Speedup:   4.0,
+		}}
+	if regs, _ := Compare(sparseSlow, base, 0.25); len(regs) != 1 {
+		t.Fatalf("sparse speedup regression not flagged: %v", regs)
+	}
+	sparseLeaky := &Report{Schema: Schema, Profile: "quick", Engine: pin.Engine,
+		Sparse: &Engine{
+			Optimized: EngineSample{NsPerSlot: 200, AllocsPerSlot: 2},
+			Reference: EngineSample{NsPerSlot: 2000},
+			Speedup:   10.0,
+		}}
+	if regs, _ := Compare(sparseLeaky, base, 0.25); len(regs) != 1 {
+		t.Fatalf("sparse alloc regression not flagged: %v", regs)
+	}
+	// A schema-1 report without the sparse pair still compares cleanly.
+	noSparse := &Report{Schema: Schema, Profile: "quick", Engine: pin.Engine}
+	if regs, _ := Compare(noSparse, base, 0.25); len(regs) != 0 {
+		t.Fatalf("sparse-less report flagged: %v", regs)
+	}
+	pin.Sparse = nil
 
 	foreign := &Report{Schema: Schema, Profile: "full"}
 	regs, advs := Compare(foreign, base, 0.25)

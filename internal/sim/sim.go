@@ -1,41 +1,3 @@
-// Package sim implements the slotted wireless-LAN simulator the paper
-// built to evaluate its protocols (§7): time advances in slots, every
-// station runs a MAC state machine, and the radio channel resolves
-// per-receiver reception, collisions, hidden terminals and (optionally)
-// direct-sequence capture.
-//
-// # Channel model
-//
-// A transmission occupies a contiguous range of slots. In every slot the
-// engine collects, for each station, the set of signals arriving from
-// in-range transmitters:
-//
-//   - a station that is itself transmitting hears nothing (half duplex);
-//   - exactly one arriving signal leaves the corresponding frame
-//     decodable for that slot;
-//   - two or more arriving signals collide: every overlapping frame is
-//     corrupted at that receiver unless the capture model lets the
-//     strongest (nearest) one survive.
-//
-// A frame is delivered to a receiver only if every slot of its airtime
-// was decodable there. Carrier sense is physical: a station senses the
-// medium busy when a transmission that started in an *earlier* slot is
-// still in the air within its range. Transmissions starting in the same
-// slot are mutually invisible — the classic collision vulnerability
-// window of CSMA.
-//
-// The engine is deterministic for a fixed seed: stations are ticked in ID
-// order and all randomness flows from a single PRNG.
-//
-// # Hot path
-//
-// The engine carries several optimizations that change no output bit:
-// idle-station scheduling (MACs implementing Sleeper are skipped while
-// quiescent and resynchronised on wake), a deterministic free-list for
-// transmission records, and per-neighbor distance tables captured at
-// transmission start instead of per-collision sqrt calls. All of them are
-// gated by Config.Reference, which forces the original naive path; the
-// equivalence tests drive both paths to identical transcripts.
 package sim
 
 import (
@@ -157,11 +119,13 @@ type MAC interface {
 // bit-identity only because a quiescent MAC's Tick draws no randomness
 // from the engine PRNG and its only per-slot state — the idle-run counter
 // behind the DIFS rule — is a pure function of the channel history, which
-// the engine tracks for every station anyway and hands back through Wake.
+// the engine tracks for every station anyway and hands back through Wake
+// or WakeExtend.
 //
-// The engine wakes a sleeping station when a request is submitted to it
-// and when it decodes a frame; everything else that can change MAC state
-// flows through those two entry points.
+// The engine wakes a sleeping station when a request is submitted to it,
+// when it decodes a frame, and at each of its crash/recover transitions
+// (CrashScheduler); everything else that can change MAC state flows
+// through those entry points.
 type Sleeper interface {
 	// Quiescent reports whether the MAC has no pending work at or after
 	// the given slot: nothing in service, nothing queued, no response
@@ -169,11 +133,20 @@ type Sleeper interface {
 	// carrier-sense observation and must not touch the engine PRNG.
 	Quiescent(after Slot) bool
 	// Wake is called right before the first Tick after a stretch of
-	// skipped slots. idleRun is the number of consecutive slots the
-	// station's carrier was idle up to and including the previous slot —
-	// exactly the value its channel history would hold had it observed
-	// every skipped slot.
+	// skipped slots during which at least one busy slot occurred.
+	// idleRun is the number of consecutive slots the station's carrier
+	// was idle up to and including the previous slot — exactly the
+	// value its channel history would hold had it observed every
+	// skipped slot.
 	Wake(idleRun int)
+	// WakeExtend is the additive variant of Wake, called when the
+	// carrier stayed idle for the entire skipped stretch: the MAC must
+	// extend its retained idle run by the given number of skipped
+	// slots. The engine cannot use the absolute form here because a MAC
+	// that froze through an earlier crash window (its Tick is withheld
+	// while down) legitimately disagrees with the channel's absolute
+	// idle run; only the increment is common knowledge.
+	WakeExtend(skipped int)
 }
 
 // Source generates traffic. Arrivals is called once per slot per
@@ -182,6 +155,43 @@ type Sleeper interface {
 // may reuse its backing array; only the requests themselves must survive.
 type Source interface {
 	Arrivals(now Slot, rng *rand.Rand) []*Request
+}
+
+// EventSource is the optional Source extension behind event-driven slot
+// skipping. NextArrival lets the engine ask "when is your next request
+// due?" without simulating the empty slots in between; a Source that
+// cannot answer (the default Bernoulli generator draws the PRNG on every
+// slot) simply doesn't implement it, and Run falls back to per-slot
+// stepping.
+//
+// The contract that keeps skipping bit-identical to per-slot execution:
+// Arrivals must be PRNG-free on slots where it returns no requests, and
+// NextArrival must not touch any PRNG at all. NextArrival(after) returns
+// the earliest slot ≥ after at which Arrivals may return requests (ok
+// false means never again); returning a conservative earlier slot is
+// legal — the engine just steps that slot normally.
+type EventSource interface {
+	Source
+	NextArrival(after Slot) (Slot, bool)
+}
+
+// CrashScheduler is the optional Impairment extension that lets
+// idle-station scheduling and slot skipping coexist with node crashes.
+// NextCrashChange reports the next slot strictly after now at which the
+// station's up/down state flips (ok false when the impairment has no
+// crash axis). The engine registers that slot as a wake obligation when
+// the station falls asleep, so a sleeping MAC is resynchronised at every
+// transition and its channel history freezes through down windows
+// exactly as the reference path's does. An Impairment without this
+// method disables idle-skip entirely, as before.
+//
+// NextCrashChange must advance the impairment's internal crash schedule
+// exactly as a Down query at the same slot would, so lazily materialized
+// schedules stay byte-identical between the skipping and reference
+// paths.
+type CrashScheduler interface {
+	Impairment
+	NextCrashChange(station int, now Slot) (Slot, bool)
 }
 
 // Observer receives simulation events for metrics collection. All methods
@@ -298,7 +308,9 @@ type Config struct {
 	// SlotObserver, when non-nil, receives one channel-state callback per
 	// slot (airing transmissions + collision flag) — the airtime ledger's
 	// feed. Combine several with CombineSlotObservers. Nil keeps the
-	// per-slot loop free of any callback cost.
+	// per-slot loop free of any callback cost. Observers additionally
+	// implementing IdleSpanObserver receive skipped idle stretches as
+	// one bulk callback instead of a per-slot replay.
 	SlotObserver SlotObserver
 	// Lifecycle, when non-nil, receives the fine-grained per-message
 	// service events (service start, round start, stale-response drop) —
@@ -309,43 +321,26 @@ type Config struct {
 	Lifecycle LifecycleObserver
 	// SlotHook, when non-nil, runs at the start of every slot before
 	// traffic arrivals and MAC ticks. Mobility drivers use it to advance
-	// node positions and swap refreshed topologies in.
+	// node positions and swap refreshed topologies in. A slot hook
+	// disables event-driven slot skipping (the hook must observe every
+	// slot), but not idle-station scheduling.
 	SlotHook func(now Slot, e *Engine)
 	// Reference disables the engine's hot-path optimizations —
-	// idle-station scheduling, the transmission free-list and the cached
-	// per-neighbor distances — and runs the original naive resolution
-	// path. Output is bit-identical either way; the reference path exists
-	// so the equivalence tests can prove it and cmd/relbench can measure
-	// the gap.
+	// idle-station scheduling, event-driven slot skipping, transmission
+	// storage recycling and the cached per-neighbor distances — and runs
+	// the original naive resolution path. Output is bit-identical either
+	// way; the reference path exists so the equivalence tests can prove
+	// it and cmd/relbench can measure the gap.
 	Reference bool
-}
-
-// transmission is one frame in the air. Records are recycled through the
-// engine's free-list (LIFO, hence deterministic); completeSlot clears the
-// pointer fields before recycling so retained frames stay collectable.
-type transmission struct {
-	frame     *frames.Frame
-	sender    int
-	start     Slot
-	end       Slot   // inclusive last slot
-	receivers []int  // in-range stations, sorted
-	corrupt   []bool // parallel to receivers
-	// ndists are the sender→receiver distances parallel to receivers,
-	// shared with the topology's precomputed table; valid only while
-	// topoGen matches the engine's. After a mid-flight topology swap the
-	// resolver falls back to live distance queries, preserving the
-	// pre-cache semantics exactly.
-	ndists  []float64
-	topoGen uint64
 }
 
 // Engine is the slotted channel simulator.
 type Engine struct {
-	topo     *topo.Topology
-	timing   frames.Timing
-	capture  capture.Model
-	errRate  float64
-	imp      Impairment
+	topo      *topo.Topology
+	timing    frames.Timing
+	capture   capture.Model
+	errRate   float64
+	imp       Impairment
 	rng       *rand.Rand
 	observer  Observer
 	tracer    Tracer
@@ -353,18 +348,40 @@ type Engine struct {
 	lifecycle LifecycleObserver
 	slotHook  func(now Slot, e *Engine)
 
-	now    Slot
-	macs   []MAC
-	envs   []Env
-	active []*transmission
+	now  Slot
+	macs []MAC
+	envs []Env
+
+	// Transmissions in the air, stored as a structure of arrays: row r
+	// of the parallel tx* slices describes one transmission, rows
+	// [0,txN) are live, and completeSlot compacts rows in place keeping
+	// start order stable (the resolution order the reference path
+	// produces). The hot per-slot scans (resolveSlot, computeBusy,
+	// completeSlot) stream the scalar columns without pointer chasing;
+	// corruption masks parked in rows ≥ txN are recycled by the next
+	// startTx, replacing the former record free-list.
+	txFrame   []*frames.Frame
+	txSender  []int32
+	txStart   []Slot
+	txEnd     []Slot // inclusive last slot
+	txRecv    [][]int  // in-range stations at start, sorted
+	txCorrupt [][]bool // parallel to txRecv
+	// txNDists are the sender→receiver distances parallel to txRecv,
+	// shared with the topology's precomputed table; valid only while
+	// txTopoGen matches the engine's. After a mid-flight topology swap
+	// the resolver falls back to live distance queries, preserving the
+	// pre-cache semantics exactly.
+	txNDists  [][]float64
+	txTopoGen []uint64
+	txN       int
 
 	// txBusyUntil[i] is the last slot station i's own transmission
 	// occupies, or a past slot when idle.
 	txBusyUntil []Slot
 
 	// scratch buffers reused every slot.
-	sigTx   [][]int32 // per station: indices into active
-	sigRx   [][]int32 // per station: receiver index within that transmission
+	sigTx   [][]int32 // per station: row indices into the tx table
+	sigRx   [][]int32 // per station: receiver index within that row
 	dists   []float64
 	touched []int // stations with ≥1 signal this slot
 
@@ -379,16 +396,11 @@ type Engine struct {
 	// so computeBusy only touches the neighbors of ongoing transmitters
 	// instead of wiping an O(stations) array every slot. prevBusy[i] is
 	// the busy slot preceding busyStamp[i]; together they answer "most
-	// recent busy slot ≤ now-1", the quantity Wake's idle-run
+	// recent busy slot ≤ now-1", the quantity the wake-time idle-run
 	// reconstruction needs even when the wake slot itself is busy.
 	busyStamp []Slot
 	prevBusy  []Slot
 
-	// txFree is the deterministic free-list recycling transmission
-	// records (and their corrupt slices) — a sync.Pool would be faster to
-	// write but is banned on the sim path (relmaclint: simsafe) because
-	// its reuse order depends on the scheduler.
-	txFree []*transmission
 	// topoGen counts SetTopology swaps; cached per-transmission distance
 	// tables are only trusted while their generation matches.
 	topoGen uint64
@@ -396,11 +408,15 @@ type Engine struct {
 	// Idle-station scheduling (see Sleeper). sleepers[i] is non-nil iff
 	// macs[i] implements Sleeper; asleep marks stations currently skipped
 	// by the tick loop; resync marks freshly woken stations whose channel
-	// history must be restored before their next Tick.
+	// history must be restored before their next Tick; sleptAt[i] is the
+	// slot station i last fell asleep in (the last slot its Tick
+	// observed), consulted by the restore to pick the absolute (Wake)
+	// or additive (WakeExtend) reconstruction.
 	sleepOK  bool
 	sleepers []Sleeper
 	asleep   []bool
 	resync   []bool
+	sleptAt  []Slot
 	// awake is the tick loop's worklist: the station IDs that were awake
 	// at the last rebuild, in ascending ID order. Stations that fell
 	// asleep since linger until the next rebuild and are filtered by the
@@ -408,6 +424,26 @@ type Engine struct {
 	// or the MAC set changes, so no awake station is ever missed.
 	awake      []int
 	awakeDirty bool
+	// numAttached counts non-nil MACs, numAsleep the currently sleeping
+	// ones; their equality is the "whole network asleep" test behind
+	// event-driven slot skipping.
+	numAttached int
+	numAsleep   int
+
+	// The event clock's wake obligations: a binary min-heap over
+	// (wakeAt, wakeWho) ordered by slot then station, holding at most
+	// one live entry per station (nextWake[i] is its slot, or -1).
+	// Obligations are registered when a station falls asleep under a
+	// CrashScheduler impairment — its next up/down transition — and
+	// drained at the top of every step. A station woken early by other
+	// means leaves its entry behind; draining it later is an idempotent
+	// no-op (or a harmless spurious wake of a re-slept station).
+	wakeAt   []Slot
+	wakeWho  []int
+	nextWake []Slot
+	// crashSched is non-nil iff the impairment supports crash-transition
+	// wake obligations; with an impairment lacking it, sleepOK is false.
+	crashSched CrashScheduler
 
 	// reference pins the naive path (Config.Reference).
 	reference bool
@@ -436,6 +472,7 @@ func New(cfg Config) *Engine {
 	}
 	hook := cfg.SlotHook
 	n := cfg.Topo.N()
+	cs, _ := cfg.Impairment.(CrashScheduler)
 	e := &Engine{
 		topo:        cfg.Topo,
 		timing:      tm,
@@ -458,25 +495,45 @@ func New(cfg Config) *Engine {
 		sleepers:    make([]Sleeper, n),
 		asleep:      make([]bool, n),
 		resync:      make([]bool, n),
+		sleptAt:     make([]Slot, n),
+		nextWake:    make([]Slot, n),
 		awake:       make([]int, 0, n),
 		awakeDirty:  true,
+		crashSched:  cs,
 		reference:   cfg.Reference,
-		// Idle-skip stays off under an impairment: a crashed station's
-		// MAC is not ticked while down, so its channel history freezes —
-		// a gap the continuous lastBusy reconstruction cannot reproduce.
-		sleepOK: !cfg.Reference && cfg.Impairment == nil,
+		// Idle-skip needs every crash transition of a sleeping station
+		// to be a wake obligation: a crashed station's MAC is not ticked
+		// while down, so its channel history freezes — a gap the
+		// continuous lastBusy reconstruction alone cannot reproduce. An
+		// impairment that cannot announce its transitions
+		// (CrashScheduler) therefore pins the per-slot path.
+		sleepOK: !cfg.Reference && (cfg.Impairment == nil || cs != nil),
 	}
 	for i := 0; i < n; i++ {
 		e.envs[i] = Env{engine: e, node: i}
 		e.txBusyUntil[i] = -1
 		e.busyStamp[i] = -1
 		e.prevBusy[i] = -1
+		e.sleptAt[i] = -1
+		e.nextWake[i] = -1
 	}
 	return e
 }
 
 // SetMAC installs the MAC state machine for station i.
 func (e *Engine) SetMAC(i int, m MAC) {
+	if (e.macs[i] == nil) != (m == nil) {
+		if m == nil {
+			e.numAttached--
+		} else {
+			e.numAttached++
+		}
+	}
+	if e.asleep[i] {
+		e.asleep[i] = false
+		e.numAsleep--
+	}
+	e.resync[i] = false
 	e.macs[i] = m
 	e.sleepers[i], _ = m.(Sleeper)
 	e.awakeDirty = true
@@ -516,8 +573,24 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Run advances the simulation by the given number of slots, feeding
 // arrivals from src (which may be nil for a closed system).
+//
+// Run is the event clock's home: whenever nothing can happen in the
+// current slot — every attached MAC asleep, no transmission in the air,
+// no slot hook, and a source that can announce its next arrival
+// (EventSource, or nil) — the slot counter jumps straight to the next
+// slot at which anything can: the earliest scheduled arrival, the
+// earliest wake obligation, or the end of the run. The jump performs no
+// PRNG draws and fires no events, so output is byte-identical to
+// stepping the skipped slots one by one (slot observers see the span
+// via IdleSpanObserver or a per-slot replay).
 func (e *Engine) Run(slots int, src Source) {
-	for k := 0; k < slots; k++ {
+	target := e.now + Slot(slots)
+	es, _ := src.(EventSource)
+	for e.now < target {
+		if next := e.skipTarget(src, es, target); next > e.now {
+			e.skipTo(next)
+			continue
+		}
 		e.step(src)
 	}
 }
@@ -525,10 +598,64 @@ func (e *Engine) Run(slots int, src Source) {
 // Step advances the simulation by one slot without external arrivals.
 func (e *Engine) Step() { e.step(nil) }
 
+// skipTarget returns the next slot at which anything can happen, or
+// e.now when the current slot must be simulated.
+func (e *Engine) skipTarget(src Source, es EventSource, target Slot) Slot {
+	if !e.sleepOK || e.slotHook != nil || e.txN != 0 ||
+		e.numAsleep != e.numAttached || (src != nil && es == nil) {
+		return e.now
+	}
+	next := target
+	if es != nil {
+		t, ok := es.NextArrival(e.now)
+		if !ok {
+			// No arrivals ever again; obligations and the target govern.
+		} else if t <= e.now {
+			return e.now
+		} else if t < next {
+			next = t
+		}
+	}
+	if len(e.wakeAt) > 0 && e.wakeAt[0] < next {
+		next = e.wakeAt[0]
+	}
+	if next < e.now {
+		next = e.now
+	}
+	return next
+}
+
+// skipTo jumps the clock to the given slot, reporting the skipped
+// stretch — all idle by construction — to the slot observer.
+func (e *Engine) skipTo(next Slot) {
+	if e.slotObs != nil {
+		if so, ok := e.slotObs.(IdleSpanObserver); ok {
+			so.OnIdleSpan(e.now, next-1)
+		} else {
+			for t := e.now; t < next; t++ {
+				e.slotObs.OnSlot(t, nil, false)
+			}
+		}
+	}
+	e.now = next
+}
+
 func (e *Engine) step(src Source) {
 	now := e.now
 
-	// 0. Mobility / environment hook.
+	// 0. Due wake obligations: return stations whose crash schedule
+	// flips at or before this slot to the tick loop, so their channel
+	// history is resynchronised at the transition while the slept span
+	// is still fully reconstructible.
+	for len(e.wakeAt) > 0 && e.wakeAt[0] <= now {
+		t, i := e.popWake()
+		if e.nextWake[i] == t {
+			e.nextWake[i] = -1
+		}
+		e.wake(i)
+	}
+
+	// 0.25. Mobility / environment hook.
 	if e.slotHook != nil {
 		e.slotHook(now, e)
 	}
@@ -553,10 +680,11 @@ func (e *Engine) step(src Source) {
 
 	// 2. Tick every MAC; collect new transmissions. Carrier sense views
 	// only transmissions started in earlier slots, which are exactly the
-	// ones already in e.active. Sleeping stations are skipped wholesale;
-	// the awake worklist is built — and stale entries filtered — in
-	// station-ID order, so the surviving ticks — and with them every PRNG
-	// draw — happen in exactly the order the naive loop produces.
+	// ones already in the tx table. Sleeping stations are skipped
+	// wholesale; the awake worklist is built — and stale entries
+	// filtered — in station-ID order, so the surviving ticks — and with
+	// them every PRNG draw — happen in exactly the order the naive loop
+	// produces.
 	if e.awakeDirty {
 		e.awakeDirty = false
 		e.awake = e.awake[:0]
@@ -571,12 +699,11 @@ func (e *Engine) step(src Source) {
 			continue
 		}
 		m := e.macs[i]
-		// A crashed station is silent: no frame, no CTS/ACK response, no
-		// backoff countdown. Its queued requests keep aging toward their
-		// deadlines and its MAC state resumes intact on recovery.
-		if e.imp != nil && e.imp.Down(i, now) {
-			continue
-		}
+		// History restore runs before the crash check: a station woken
+		// at its up→down transition must resynchronise now, while every
+		// slot of the slept span was up and observed; by its recovery
+		// slot the stamps may include busy slots its frozen twin on the
+		// reference path never saw.
 		if e.resync[i] {
 			e.resync[i] = false
 			last := e.busyStamp[i]
@@ -585,12 +712,34 @@ func (e *Engine) step(src Source) {
 				// busy slot before it.
 				last = e.prevBusy[i]
 			}
-			e.sleepers[i].Wake(int(now - 1 - last))
+			if last > e.sleptAt[i] {
+				// A busy slot fell inside the slept span: the idle run
+				// restarts there, entirely within engine-observed time.
+				e.sleepers[i].Wake(int(now - 1 - last))
+			} else {
+				// Idle throughout the span: extend whatever run the MAC
+				// retained when it fell asleep.
+				e.sleepers[i].WakeExtend(int(now - 1 - e.sleptAt[i]))
+			}
+		}
+		// A crashed station is silent: no frame, no CTS/ACK response, no
+		// backoff countdown. Its queued requests keep aging toward their
+		// deadlines and its MAC state resumes intact on recovery.
+		if e.imp != nil && e.imp.Down(i, now) {
+			continue
 		}
 		f := m.Tick(&e.envs[i])
 		if f == nil {
 			if e.sleepOK && e.sleepers[i] != nil && e.sleepers[i].Quiescent(now+1) {
 				e.asleep[i] = true
+				e.numAsleep++
+				e.sleptAt[i] = now
+				if e.crashSched != nil {
+					if t, ok := e.crashSched.NextCrashChange(i, now); ok && e.nextWake[i] != t {
+						e.pushWake(t, i)
+						e.nextWake[i] = t
+					}
+				}
 			}
 			continue
 		}
@@ -622,49 +771,107 @@ func (e *Engine) step(src Source) {
 func (e *Engine) wake(i int) {
 	if e.asleep[i] {
 		e.asleep[i] = false
+		e.numAsleep--
 		e.resync[i] = true
 		e.awakeDirty = true
 	}
 }
 
-// startTx registers a transmission beginning at the current slot.
+// wakeLess orders the obligation heap by (slot, station).
+func (e *Engine) wakeLess(a, b int) bool {
+	return e.wakeAt[a] < e.wakeAt[b] ||
+		(e.wakeAt[a] == e.wakeAt[b] && e.wakeWho[a] < e.wakeWho[b])
+}
+
+func (e *Engine) wakeSwap(a, b int) {
+	e.wakeAt[a], e.wakeAt[b] = e.wakeAt[b], e.wakeAt[a]
+	e.wakeWho[a], e.wakeWho[b] = e.wakeWho[b], e.wakeWho[a]
+}
+
+// pushWake registers a wake obligation for the station at slot t.
+func (e *Engine) pushWake(t Slot, who int) {
+	e.wakeAt = append(e.wakeAt, t)
+	e.wakeWho = append(e.wakeWho, who)
+	for c := len(e.wakeAt) - 1; c > 0; {
+		p := (c - 1) / 2
+		if !e.wakeLess(c, p) {
+			break
+		}
+		e.wakeSwap(c, p)
+		c = p
+	}
+}
+
+// popWake removes and returns the earliest obligation.
+func (e *Engine) popWake() (Slot, int) {
+	t, who := e.wakeAt[0], e.wakeWho[0]
+	n := len(e.wakeAt) - 1
+	e.wakeSwap(0, n)
+	e.wakeAt = e.wakeAt[:n]
+	e.wakeWho = e.wakeWho[:n]
+	for p := 0; ; {
+		c := 2*p + 1
+		if c >= n {
+			break
+		}
+		if c+1 < n && e.wakeLess(c+1, c) {
+			c++
+		}
+		if !e.wakeLess(c, p) {
+			break
+		}
+		e.wakeSwap(p, c)
+		p = c
+	}
+	return t, who
+}
+
+// startTx registers a transmission beginning at the current slot as a
+// new row of the tx table.
 func (e *Engine) startTx(sender int, f *frames.Frame) {
 	// The radio, not the MAC, is the authority on who transmitted.
 	f.Src = frames.Addr(sender)
 	air := e.timing.Airtime(f.Type)
 	nb := e.topo.Neighbors(sender)
-	var tx *transmission
-	if n := len(e.txFree); n > 0 {
-		tx = e.txFree[n-1]
-		e.txFree[n-1] = nil
-		e.txFree = e.txFree[:n-1]
-	} else {
-		tx = &transmission{}
+	r := e.txN
+	if r == len(e.txFrame) {
+		e.txFrame = append(e.txFrame, nil)
+		e.txSender = append(e.txSender, 0)
+		e.txStart = append(e.txStart, 0)
+		e.txEnd = append(e.txEnd, 0)
+		e.txRecv = append(e.txRecv, nil)
+		e.txCorrupt = append(e.txCorrupt, nil)
+		e.txNDists = append(e.txNDists, nil)
+		e.txTopoGen = append(e.txTopoGen, 0)
 	}
-	tx.frame = f
-	tx.sender = sender
-	tx.start = e.now
-	tx.end = e.now + Slot(air) - 1
-	tx.receivers = nb
-	if cap(tx.corrupt) >= len(nb) {
-		tx.corrupt = tx.corrupt[:len(nb)]
-		for i := range tx.corrupt {
-			tx.corrupt[i] = false
+	e.txFrame[r] = f
+	e.txSender[r] = int32(sender)
+	e.txStart[r] = e.now
+	e.txEnd[r] = e.now + Slot(air) - 1
+	e.txRecv[r] = nb
+	// Corruption masks parked by earlier completions are recycled in
+	// place (deterministically — the row index is the identity); the
+	// reference path allocates fresh, as the naive engine did.
+	if cor := e.txCorrupt[r]; !e.reference && cap(cor) >= len(nb) {
+		cor = cor[:len(nb)]
+		for i := range cor {
+			cor[i] = false
 		}
+		e.txCorrupt[r] = cor
 	} else {
-		tx.corrupt = make([]bool, len(nb))
+		e.txCorrupt[r] = make([]bool, len(nb))
 	}
 	if e.reference {
-		tx.ndists = nil
+		e.txNDists[r] = nil
 	} else {
-		tx.ndists = e.topo.NeighborDists(sender)
-		tx.topoGen = e.topoGen
+		e.txNDists[r] = e.topo.NeighborDists(sender)
+		e.txTopoGen[r] = e.topoGen
 	}
-	e.active = append(e.active, tx)
-	e.txBusyUntil[sender] = tx.end
+	e.txN = r + 1
+	e.txBusyUntil[sender] = e.txEnd[r]
 	e.observer.OnFrameTx(f, sender, e.now)
 	if e.tracer != nil {
-		e.tracer.TxStart(f, sender, tx.start, tx.end)
+		e.tracer.TxStart(f, sender, e.txStart[r], e.txEnd[r])
 	}
 }
 
@@ -673,11 +880,11 @@ func (e *Engine) resolveSlot() {
 	now := e.now
 	e.slotCollided = false
 	touchedNodes := e.touched[:0]
-	for ti, tx := range e.active {
-		if tx.start > now || tx.end < now {
+	for ti := 0; ti < e.txN; ti++ {
+		if e.txStart[ti] > now || e.txEnd[ti] < now {
 			continue
 		}
-		for ri, j := range tx.receivers {
+		for ri, j := range e.txRecv[ti] {
 			if len(e.sigTx[j]) == 0 {
 				touchedNodes = append(touchedNodes, j)
 			}
@@ -696,7 +903,7 @@ func (e *Engine) resolveSlot() {
 				e.slotCollided = true
 			}
 			for k, ti := range sigs {
-				e.active[ti].corrupt[e.sigRx[j][k]] = true
+				e.txCorrupt[ti][e.sigRx[j][k]] = true
 			}
 		case len(sigs) == 1:
 			// Clean slot for this frame at this receiver.
@@ -705,22 +912,21 @@ func (e *Engine) resolveSlot() {
 			// Collision: ask the capture model which signal survives.
 			// Distances come from the table captured at transmission
 			// start; Dist is symmetric (math.Hypot of the same deltas),
-			// so tx.ndists[ri] is bit-for-bit the e.topo.Dist(j, sender)
-			// the naive path computes. The live query remains for
+			// so txNDists[ti][ri] is bit-for-bit the e.topo.Dist(j,
+			// sender) the naive path computes. The live query remains for
 			// transmissions launched under a topology since swapped out.
 			e.dists = e.dists[:0]
 			for k, ti := range sigs {
-				tx := e.active[ti]
-				if tx.ndists != nil && tx.topoGen == e.topoGen {
-					e.dists = append(e.dists, tx.ndists[e.sigRx[j][k]])
+				if nd := e.txNDists[ti]; nd != nil && e.txTopoGen[ti] == e.topoGen {
+					e.dists = append(e.dists, nd[e.sigRx[j][k]])
 				} else {
-					e.dists = append(e.dists, e.topo.Dist(j, tx.sender))
+					e.dists = append(e.dists, e.topo.Dist(j, int(e.txSender[ti])))
 				}
 			}
 			win := e.capture.Resolve(e.dists, e.rng.Float64())
 			for k, ti := range sigs {
 				if k != win {
-					e.active[ti].corrupt[e.sigRx[j][k]] = true
+					e.txCorrupt[ti][e.sigRx[j][k]] = true
 				}
 			}
 		}
@@ -737,10 +943,13 @@ func (e *Engine) resolveSlot() {
 func (e *Engine) emitSlot() {
 	now := e.now
 	airing := e.airScratch[:0]
-	for _, tx := range e.active {
-		if tx.start <= now && tx.end >= now {
+	for ti := 0; ti < e.txN; ti++ {
+		if e.txStart[ti] <= now && e.txEnd[ti] >= now {
 			airing = append(airing, AiringTx{
-				Frame: tx.frame, Sender: tx.sender, Start: tx.start, End: tx.end,
+				Frame:  e.txFrame[ti],
+				Sender: int(e.txSender[ti]),
+				Start:  e.txStart[ti],
+				End:    e.txEnd[ti],
 			})
 		}
 	}
@@ -753,24 +962,40 @@ func (e *Engine) emitSlot() {
 	e.airScratch = airing[:0]
 }
 
-// completeSlot delivers every frame whose last slot is the current one.
+// completeSlot delivers every frame whose last slot is the current one,
+// compacting the tx table in place. Live rows keep their relative order
+// (the resolution order the reference path produces); completed rows'
+// corruption masks are swapped toward the tail for recycling.
 func (e *Engine) completeSlot() {
 	now := e.now
-	kept := e.active[:0]
-	for _, tx := range e.active {
-		if tx.end != now {
-			kept = append(kept, tx)
+	w := 0
+	for r := 0; r < e.txN; r++ {
+		if e.txEnd[r] != now {
+			if w != r {
+				e.txFrame[w], e.txFrame[r] = e.txFrame[r], nil
+				e.txSender[w] = e.txSender[r]
+				e.txStart[w] = e.txStart[r]
+				e.txEnd[w] = e.txEnd[r]
+				e.txRecv[w], e.txRecv[r] = e.txRecv[r], nil
+				e.txCorrupt[w], e.txCorrupt[r] = e.txCorrupt[r], e.txCorrupt[w]
+				e.txNDists[w], e.txNDists[r] = e.txNDists[r], nil
+				e.txTopoGen[w] = e.txTopoGen[r]
+			}
+			w++
 			continue
 		}
-		for ri, j := range tx.receivers {
-			lost := tx.corrupt[ri]
+		f := e.txFrame[r]
+		sender := int(e.txSender[r])
+		cor := e.txCorrupt[r]
+		for ri, j := range e.txRecv[r] {
+			lost := cor[ri]
 			if !lost && e.imp != nil {
 				if e.imp.Down(j, now) {
 					lost = true
 					if n, ok := e.imp.(crashNoter); ok {
 						n.NoteCrashDrop()
 					}
-				} else if e.imp.Erase(tx.frame, tx.sender, j, now) {
+				} else if e.imp.Erase(f, sender, j, now) {
 					lost = true
 				}
 			}
@@ -779,18 +1004,18 @@ func (e *Engine) completeSlot() {
 			}
 			if lost {
 				if e.tracer != nil {
-					e.tracer.RxLost(tx.frame, j, now)
+					e.tracer.RxLost(f, j, now)
 				}
 				continue
 			}
 			if e.tracer != nil {
-				e.tracer.RxOK(tx.frame, j, now)
+				e.tracer.RxOK(f, j, now)
 			}
-			if tx.frame.Type == frames.Data {
-				e.observer.OnDataRx(tx.frame.MsgID, j, now)
+			if f.Type == frames.Data {
+				e.observer.OnDataRx(f.MsgID, j, now)
 			}
 			if m := e.macs[j]; m != nil {
-				m.Deliver(&e.envs[j], tx.frame)
+				m.Deliver(&e.envs[j], f)
 				// A sleeping receiver stays asleep unless the frame left
 				// it something to do — a scheduled response, typically.
 				// NAV-only overhears keep it in bed: the NAV is a pure
@@ -800,33 +1025,27 @@ func (e *Engine) completeSlot() {
 				}
 			}
 		}
-		// The record is done: break the references it holds and recycle
-		// it. The frame itself is never pooled — MACs, observers and
-		// tracers may retain it indefinitely.
-		tx.frame = nil
-		tx.receivers = nil
-		tx.ndists = nil
-		if !e.reference {
-			e.txFree = append(e.txFree, tx)
-		}
+		// The row is done: break the references it holds. The frame
+		// itself is never pooled — MACs, observers and tracers may
+		// retain it indefinitely. Its corruption mask stays parked in
+		// the tail for the next startTx to recycle.
+		e.txFrame[r] = nil
+		e.txRecv[r] = nil
+		e.txNDists[r] = nil
 	}
-	// Zero dropped tail so transmissions can be collected.
-	for i := len(kept); i < len(e.active); i++ {
-		e.active[i] = nil
-	}
-	e.active = kept
+	e.txN = w
 }
 
 // computeBusy stamps the current slot onto the neighbors of every
 // ongoing transmitter — O(active × degree) per slot, with no per-station
-// clearing pass. The stamps double as the busy/idle series behind Wake's
-// idle-run reconstruction, maintained for every station whether it ticks
-// or sleeps.
+// clearing pass. The stamps double as the busy/idle series behind the
+// wake-time idle-run reconstruction, maintained for every station
+// whether it ticks or sleeps.
 func (e *Engine) computeBusy() {
 	now := e.now
-	for _, tx := range e.active {
-		if tx.start < now && tx.end >= now {
-			for _, j := range e.topo.Neighbors(tx.sender) {
+	for ti := 0; ti < e.txN; ti++ {
+		if e.txStart[ti] < now && e.txEnd[ti] >= now {
+			for _, j := range e.topo.Neighbors(int(e.txSender[ti])) {
 				if e.busyStamp[j] != now {
 					e.prevBusy[j] = e.busyStamp[j]
 					e.busyStamp[j] = now

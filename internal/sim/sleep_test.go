@@ -11,11 +11,13 @@ import (
 	"relmac/internal/frames"
 )
 
-// sleepyMAC is a Sleeper test double: it records every Tick slot and
-// every Wake idle run, and exposes its quiescence as a settable flag.
+// sleepyMAC is a Sleeper test double: it records every Tick slot, every
+// absolute Wake idle run and every additive WakeExtend, and exposes its
+// quiescence as a settable flag.
 type sleepyMAC struct {
 	ticked    []Slot
 	wakes     []int
+	extends   []int
 	delivered int
 	quiet     bool
 	// wakeOnDeliver makes the station non-quiescent once it has
@@ -35,7 +37,8 @@ func (m *sleepyMAC) Quiescent(after Slot) bool {
 	}
 	return m.quiet
 }
-func (m *sleepyMAC) Wake(idleRun int) { m.wakes = append(m.wakes, idleRun) }
+func (m *sleepyMAC) Wake(idleRun int)     { m.wakes = append(m.wakes, idleRun) }
+func (m *sleepyMAC) WakeExtend(skipped int) { m.extends = append(m.extends, skipped) }
 
 // oneShot releases a single request at a fixed slot.
 type oneShot struct {
@@ -62,14 +65,18 @@ func TestQuiescentStationSkippedAndWokenByArrival(t *testing.T) {
 		t.Fatalf("quiescent station ticked at %v, want only slot 0", sleepy.ticked)
 	}
 
-	// An arrival at slot 15 must wake it with the full idle run: the
-	// channel has been idle since the beginning, so the streak through
-	// slot 14 spans all 15 observed-or-skipped slots.
+	// An arrival at slot 15 must wake it with the additive restore: no
+	// busy slot fell inside the slept stretch (slots 1–14), so the MAC's
+	// retained streak — it observed slot 0 itself — is extended by the
+	// 14 skipped slots rather than overwritten.
 	sleepy.quiet = false
 	src := &oneShot{at: 15, req: &Request{ID: 1, Src: 1, Kind: Broadcast, Deadline: 1000}}
 	e.Run(10, src)
-	if len(sleepy.wakes) != 1 || sleepy.wakes[0] != 15 {
-		t.Fatalf("wakes = %v, want [15]", sleepy.wakes)
+	if len(sleepy.extends) != 1 || sleepy.extends[0] != 14 {
+		t.Fatalf("extends = %v, want [14]", sleepy.extends)
+	}
+	if len(sleepy.wakes) != 0 {
+		t.Fatalf("wakes = %v, want none (idle span uses the additive restore)", sleepy.wakes)
 	}
 	want := []Slot{0, 15, 16, 17, 18, 19}
 	if len(sleepy.ticked) != len(want) {
@@ -143,7 +150,7 @@ func TestReferencePathTicksEverySlot(t *testing.T) {
 	if len(sleepy.ticked) != 8 {
 		t.Fatalf("reference path ticked %d slots, want all 8 (idle-skip must be off)", len(sleepy.ticked))
 	}
-	if len(sleepy.wakes) != 0 {
-		t.Fatalf("reference path issued wakes: %v", sleepy.wakes)
+	if len(sleepy.wakes) != 0 || len(sleepy.extends) != 0 {
+		t.Fatalf("reference path issued wakes: %v / extends: %v", sleepy.wakes, sleepy.extends)
 	}
 }

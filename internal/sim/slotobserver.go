@@ -37,6 +37,19 @@ type SlotObserver interface {
 	OnSlot(now Slot, airing []AiringTx, collided bool)
 }
 
+// IdleSpanObserver is the optional SlotObserver extension behind
+// event-driven slot skipping: when the engine jumps over a stretch of
+// slots in which nothing happened — no transmission in the air, every
+// station asleep — it reports the whole stretch with one OnIdleSpan
+// call (from and to inclusive) instead of len(span) OnSlot calls. The
+// two forms are exactly equivalent: a skipped slot would have produced
+// OnSlot(t, nil, false), nothing else. Slot observers that don't
+// implement the extension receive that per-slot replay.
+type IdleSpanObserver interface {
+	SlotObserver
+	OnIdleSpan(from, to Slot)
+}
+
 // MultiSlotObserver fans the per-slot callback out to a list of slot
 // observers in registration order. Build one with CombineSlotObservers,
 // which collapses the trivial cases so single-observer runs pay no
@@ -78,6 +91,25 @@ func (m MultiSlotObserver) OnSlot(now Slot, airing []AiringTx, collided bool) {
 		func() {
 			defer m.identify(i)
 			o.OnSlot(now, airing, collided)
+		}()
+	}
+}
+
+// OnIdleSpan implements IdleSpanObserver, dispatching the span in bulk
+// to attachments that accept it and replaying it slot by slot for the
+// rest — so a mixed fan-out list stays exactly equivalent to per-slot
+// stepping for every member.
+func (m MultiSlotObserver) OnIdleSpan(from, to Slot) {
+	for i, o := range m {
+		func() {
+			defer m.identify(i)
+			if so, ok := o.(IdleSpanObserver); ok {
+				so.OnIdleSpan(from, to)
+			} else {
+				for t := from; t <= to; t++ {
+					o.OnSlot(t, nil, false)
+				}
+			}
 		}()
 	}
 }

@@ -1,0 +1,39 @@
+// Package traffic generates the workload of the paper's simulations
+// (§7, Table 2): every node independently generates a message per slot
+// with probability equal to the message generation rate (default
+// 0.0005/node/slot), and each message is a unicast with probability 0.2,
+// a multicast with probability 0.4 and a broadcast with probability 0.4.
+// Messages carry an upper-layer timeout (default 100 slots).
+//
+// # Arrival modes
+//
+// Generator samples the Bernoulli arrival law two ways:
+//
+//   - per-slot (default): one PRNG draw per node per slot, the direct
+//     transcription of Table 2. Every slot consumes PRNG state, so runs
+//     are comparable draw-for-draw with the project's original goldens;
+//   - event-driven (Generator.EventDriven): the equivalent renewal
+//     process — geometric inter-arrival gaps over the slot-major,
+//     node-minor lattice of (slot, node) points, drawn only when an
+//     arrival fires. Empty slots consume nothing, and NextArrival
+//     announces the next firing slot without touching the PRNG, which
+//     is what lets the engine's event clock (sim.EventSource) jump
+//     whole idle stretches.
+//
+// The two modes sample the same distribution but consume the PRNG
+// differently, so trajectories differ at the same seed; event-driven is
+// an opt-in for runs whose goldens were recorded with it (the sparse
+// benchmarks, the skipping equivalence tests).
+//
+// # Determinism
+//
+// All randomness flows through the *rand.Rand the engine passes to
+// Arrivals; the package holds no PRNG of its own and never reads the
+// clock. Arrival order within a slot is node-ID order in both modes.
+//
+// # Entry points
+//
+// NewGenerator builds the Table 2 workload on a topology; Script is the
+// deterministic fixed-schedule source for tests and examples. Both
+// implement sim.EventSource.
+package traffic

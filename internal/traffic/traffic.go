@@ -1,14 +1,10 @@
-// Package traffic generates the workload of the paper's simulations
-// (§7, Table 2): every node independently generates a message per slot
-// with probability equal to the message generation rate (default
-// 0.0005/node/slot), and each message is a unicast with probability 0.2,
-// a multicast with probability 0.4 and a broadcast with probability 0.4.
-// Messages carry an upper-layer timeout (default 100 slots).
 package traffic
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 
 	"relmac/internal/sim"
 	"relmac/internal/topo"
@@ -58,8 +54,26 @@ type Generator struct {
 	Mix Mix
 	// Timeout is the upper-layer deadline in slots after arrival.
 	Timeout int
+	// EventDriven switches the generator from the per-slot Bernoulli
+	// process (one PRNG draw per node per slot) to the equivalent
+	// renewal process: geometric inter-arrival gaps over the
+	// slot-major, node-minor lattice of (slot, node) points, drawn only
+	// when an arrival actually fires. Arrivals on empty slots then draw
+	// nothing from the PRNG and NextArrival can announce the next
+	// arrival slot, which is what lets the engine's event clock skip
+	// idle stretches (sim.EventSource). The two modes sample the same
+	// distribution but consume the PRNG differently, so switching modes
+	// changes individual trajectories — it is an opt-in for runs whose
+	// goldens were recorded with it.
+	EventDriven bool
 
 	nextID int64
+	// Event-mode cursor: the next lattice point that fires, plus an
+	// init flag (the first gap is drawn lazily inside Arrivals so that
+	// construction stays PRNG-free).
+	evInit bool
+	evSlot sim.Slot
+	evNode int
 	// buf is the reused Arrivals result slice. The engine consumes the
 	// returned requests before the next Arrivals call (the sim.Source
 	// contract), so only the requests — not the slice — must survive.
@@ -74,6 +88,9 @@ func NewGenerator(tp *topo.Topology) *Generator {
 
 // Arrivals implements sim.Source.
 func (g *Generator) Arrivals(now sim.Slot, rng *rand.Rand) []*sim.Request {
+	if g.EventDriven {
+		return g.eventArrivals(now, rng)
+	}
 	out := g.buf[:0]
 	for node := 0; node < g.Topo.N(); node++ {
 		if rng.Float64() >= g.Rate {
@@ -86,6 +103,71 @@ func (g *Generator) Arrivals(now sim.Slot, rng *rand.Rand) []*sim.Request {
 	}
 	g.buf = out
 	return out
+}
+
+// eventArrivals is the renewal-process form: fire every lattice point
+// scheduled for this slot, drawing the next geometric gap after each.
+// Calls on slots before the cursor draw nothing — the PRNG-neutrality
+// that makes slot skipping byte-identical to per-slot stepping.
+func (g *Generator) eventArrivals(now sim.Slot, rng *rand.Rand) []*sim.Request {
+	out := g.buf[:0]
+	g.buf = out
+	if g.Rate <= 0 || g.Topo.N() == 0 {
+		return out
+	}
+	if !g.evInit {
+		g.evInit = true
+		g.evSlot, g.evNode = 0, 0
+		g.evAdvance(rng, 0)
+	}
+	// Points the caller stepped past without consulting us (mixed
+	// sources, manual Step loops) are dropped, consuming their gap
+	// draws so the stream stays aligned.
+	for g.evSlot < now {
+		g.evAdvance(rng, 1)
+	}
+	for g.evSlot == now {
+		node := g.evNode
+		g.evAdvance(rng, 1)
+		if req := g.makeRequest(node, now, rng); req != nil {
+			out = append(out, req)
+		}
+	}
+	g.buf = out
+	return out
+}
+
+// evAdvance moves the cursor from its current lattice point to the next
+// firing one: `consumed` steps past the current point (1 after a
+// firing, 0 on init), then a geometric number of silent points. The gap
+// law floor(log1p(-u)/log1p(-p)) gives P(gap=k) = (1-p)^k·p, so every
+// lattice point still fires independently with probability Rate —
+// the Bernoulli process, sampled by inter-arrival instead of by point.
+func (g *Generator) evAdvance(rng *rand.Rand, consumed int) {
+	u := rng.Float64()
+	gap := math.Floor(math.Log1p(-u) / math.Log1p(-g.Rate))
+	n := sim.Slot(g.Topo.N())
+	idx := g.evSlot*n + sim.Slot(g.evNode) + sim.Slot(consumed) + sim.Slot(gap)
+	g.evSlot = idx / n
+	g.evNode = int(idx % n)
+}
+
+// NextArrival implements sim.EventSource. In the default Bernoulli mode
+// it conservatively returns the asked-for slot itself — every slot may
+// produce arrivals and must be stepped — so attaching a non-event
+// generator never lets the engine skip. In event-driven mode it
+// announces the cursor's slot without touching any PRNG.
+func (g *Generator) NextArrival(after sim.Slot) (sim.Slot, bool) {
+	if !g.EventDriven || !g.evInit {
+		return after, true
+	}
+	if g.Rate <= 0 || g.Topo.N() == 0 {
+		return 0, false
+	}
+	if g.evSlot < after {
+		return after, true
+	}
+	return g.evSlot, true
 }
 
 // makeRequest builds one request originating at the node, or nil when the
@@ -132,9 +214,12 @@ func sampleWithoutReplacement(src []int, k int, rng *rand.Rand) []int {
 }
 
 // Script is a deterministic sim.Source for tests and examples: requests
-// are released at pre-programmed slots.
+// are released at pre-programmed slots. It implements sim.EventSource —
+// release slots are known upfront — so script-driven runs benefit from
+// event-driven slot skipping automatically.
 type Script struct {
-	byts map[sim.Slot][]*sim.Request
+	byts   map[sim.Slot][]*sim.Request
+	sorted []sim.Slot // release slots, ascending; nil when stale
 }
 
 // NewScript returns an empty Script.
@@ -148,10 +233,28 @@ func (s *Script) At(t sim.Slot, req *sim.Request) *sim.Request {
 		req.Deadline = t + 1_000_000 // effectively no timeout unless set
 	}
 	s.byts[t] = append(s.byts[t], req)
+	s.sorted = nil
 	return req
 }
 
 // Arrivals implements sim.Source.
 func (s *Script) Arrivals(now sim.Slot, rng *rand.Rand) []*sim.Request {
 	return s.byts[now]
+}
+
+// NextArrival implements sim.EventSource: the earliest release slot at
+// or after the given one.
+func (s *Script) NextArrival(after sim.Slot) (sim.Slot, bool) {
+	if s.sorted == nil {
+		s.sorted = make([]sim.Slot, 0, len(s.byts))
+		for t := range s.byts {
+			s.sorted = append(s.sorted, t)
+		}
+		sort.Slice(s.sorted, func(i, j int) bool { return s.sorted[i] < s.sorted[j] })
+	}
+	i := sort.Search(len(s.sorted), func(i int) bool { return s.sorted[i] >= after })
+	if i == len(s.sorted) {
+		return 0, false
+	}
+	return s.sorted[i], true
 }

@@ -163,3 +163,131 @@ func TestScriptSource(t *testing.T) {
 		t.Error("explicit deadline must be preserved")
 	}
 }
+
+// TestEventDrivenRate: the renewal form must sample the same arrival
+// law as the Bernoulli form — every lattice point fires independently
+// with probability Rate.
+func TestEventDrivenRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	tp := topo.Uniform(100, 0.2, rng)
+	g := NewGenerator(tp)
+	g.Rate = 0.01
+	g.EventDriven = true
+	total := 0
+	const slots = 5000
+	for s := sim.Slot(0); s < slots; s++ {
+		total += len(g.Arrivals(s, rng))
+	}
+	if total < 4300 || total > 5500 {
+		t.Errorf("arrivals = %d, want ≈5000", total)
+	}
+}
+
+// TestEventDrivenSkipNeutral is the PRNG-neutrality contract behind
+// slot skipping: calling Arrivals on every slot and calling it only on
+// the slots NextArrival announces must produce identical requests and
+// leave the PRNG in the identical state.
+func TestEventDrivenSkipNeutral(t *testing.T) {
+	build := func() (*Generator, *rand.Rand) {
+		setup := rand.New(rand.NewSource(7))
+		tp := topo.Uniform(60, 0.2, setup)
+		g := NewGenerator(tp)
+		g.Rate = 0.002
+		g.EventDriven = true
+		return g, rand.New(rand.NewSource(99))
+	}
+	type arr struct {
+		slot sim.Slot
+		src  int
+		id   int64
+		kind sim.Kind
+	}
+	const slots = 4000
+
+	var dense []arr
+	gd, rngD := build()
+	for s := sim.Slot(0); s < slots; s++ {
+		for _, r := range gd.Arrivals(s, rngD) {
+			dense = append(dense, arr{s, r.Src, r.ID, r.Kind})
+		}
+	}
+
+	var sparse []arr
+	gs, rngS := build()
+	for s := sim.Slot(0); s < slots; {
+		next, ok := gs.NextArrival(s)
+		if !ok || next >= slots {
+			break
+		}
+		for _, r := range gs.Arrivals(next, rngS) {
+			sparse = append(sparse, arr{next, r.Src, r.ID, r.Kind})
+		}
+		s = next + 1
+	}
+
+	if len(dense) == 0 {
+		t.Fatal("no arrivals generated; the comparison is vacuous")
+	}
+	if len(dense) != len(sparse) {
+		t.Fatalf("dense produced %d arrivals, sparse %d", len(dense), len(sparse))
+	}
+	for i := range dense {
+		if dense[i] != sparse[i] {
+			t.Fatalf("arrival %d diverged: dense %+v, sparse %+v", i, dense[i], sparse[i])
+		}
+	}
+	if d, s := rngD.Float64(), rngS.Float64(); d != s {
+		t.Fatalf("PRNG state diverged after the run: %v vs %v", d, s)
+	}
+}
+
+// TestEventDrivenEmptySlotsDrawNothing: Arrivals on a slot before the
+// cursor must not consume the PRNG. Twin runs — one probing every
+// empty slot, one probing none — must leave the PRNG identical.
+func TestEventDrivenEmptySlotsDrawNothing(t *testing.T) {
+	build := func() (*Generator, *rand.Rand) {
+		setup := rand.New(rand.NewSource(7))
+		tp := topo.Uniform(20, 0.2, setup)
+		g := NewGenerator(tp)
+		g.Rate = 0.0001
+		g.EventDriven = true
+		return g, rand.New(rand.NewSource(5))
+	}
+	gA, rngA := build()
+	gA.Arrivals(0, rngA) // init draw
+	nextA, ok := gA.NextArrival(1)
+	if !ok {
+		t.Fatal("rate > 0 must always announce a next arrival")
+	}
+	for s := sim.Slot(1); s < nextA && s < 1000; s++ {
+		if got := gA.Arrivals(s, rngA); len(got) != 0 {
+			t.Fatalf("arrivals before the cursor at %d: %v", s, got)
+		}
+	}
+	gB, rngB := build()
+	gB.Arrivals(0, rngB) // init draw only; no empty-slot probes
+	if rngA.Float64() != rngB.Float64() {
+		t.Fatal("empty-slot Arrivals consumed the PRNG")
+	}
+}
+
+// TestScriptNextArrival pins the EventSource view of a Script.
+func TestScriptNextArrival(t *testing.T) {
+	s := NewScript()
+	s.At(30, &sim.Request{ID: 1, Src: 0, Kind: sim.Broadcast})
+	s.At(10, &sim.Request{ID: 2, Src: 1, Kind: sim.Broadcast})
+	if got, ok := s.NextArrival(0); !ok || got != 10 {
+		t.Fatalf("NextArrival(0) = %d,%v, want 10,true", got, ok)
+	}
+	if got, ok := s.NextArrival(11); !ok || got != 30 {
+		t.Fatalf("NextArrival(11) = %d,%v, want 30,true", got, ok)
+	}
+	if _, ok := s.NextArrival(31); ok {
+		t.Fatal("NextArrival past the last release must report ok=false")
+	}
+	// A later At invalidates the sorted view.
+	s.At(50, &sim.Request{ID: 3, Src: 0, Kind: sim.Broadcast})
+	if got, ok := s.NextArrival(31); !ok || got != 50 {
+		t.Fatalf("NextArrival(31) = %d,%v, want 50,true", got, ok)
+	}
+}
