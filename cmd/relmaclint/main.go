@@ -1,16 +1,23 @@
 // Command relmaclint runs the project's static-analysis suite
-// (internal/lint) over the module: determinism, seedflow, floateq,
-// frameswitch and obswiring — the mechanically enforced invariants behind
-// the simulator's bit-reproducibility. See the package documentation of
-// internal/lint for the rules and the //relmac:allow directive syntax.
+// (internal/lint) over the module. Since v2 the suite is built on a
+// module-wide call graph and a lightweight dataflow layer: determinism
+// and simsafe are reachability-based, and prngflow, hookpure, maporder
+// and hotalloc guard the observer, map-order and allocation contracts of
+// the slot loop. See the package documentation of internal/lint for the
+// rules and the //relmac:allow directive syntax.
 //
 // Usage:
 //
-//	go run ./cmd/relmaclint [-json] [-checks determinism,seedflow] [patterns...]
+//	go run ./cmd/relmaclint [-json] [-sarif out.sarif] [-tilereport out.json] \
+//	    [-checks determinism,prngflow] [-list] [patterns...]
 //
 // Patterns default to ./... and follow the go tool's convention
-// (testdata, vendor and hidden directories are skipped). The exit status
-// is 1 when findings remain after suppression, 2 on a load failure.
+// (testdata, vendor and hidden directories are skipped). -sarif writes a
+// SARIF 2.1.0 log for GitHub code scanning alongside the normal output;
+// -tilereport writes the parallel-tile safety classification of every
+// serial-path function; -list prints the registered checks and exits.
+// The exit status is 1 when findings remain after suppression, 2 on a
+// load failure.
 package main
 
 import (
@@ -25,9 +32,19 @@ import (
 
 func main() {
 	jsonOut := flag.Bool("json", false, "emit findings and suppressions as JSON (for CI annotation)")
+	sarifOut := flag.String("sarif", "", "also write findings as SARIF 2.1.0 to the given file (for code scanning)")
+	tileOut := flag.String("tilereport", "", "also write the parallel-tile safety report to the given file")
 	checks := flag.String("checks", "", "comma-separated subset of checks to run (default all: "+strings.Join(lint.CheckNames(), ",")+")")
+	list := flag.Bool("list", false, "print the registered checks with their one-line docs and exit")
 	dir := flag.String("C", ".", "directory to locate the module from")
 	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
 
 	patterns := flag.Args()
 	if len(patterns) == 0 {
@@ -59,7 +76,21 @@ func main() {
 	if *checks != "" {
 		cfg.Checks = strings.Split(*checks, ",")
 	}
-	res := lint.Run(pkgs, cfg)
+	suite := lint.NewSuite(loader, cfg)
+	res := suite.Run(pkgs)
+
+	if *sarifOut != "" {
+		if err := writeJSON(*sarifOut, lint.ToSARIF(res, root)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
+	if *tileOut != "" {
+		if err := writeJSON(*tileOut, suite.TileSafetyReport(pkgs)); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+	}
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -81,4 +112,19 @@ func main() {
 	if len(res.Findings) > 0 {
 		os.Exit(1)
 	}
+}
+
+// writeJSON marshals v, indented, to path.
+func writeJSON(path string, v any) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -17,8 +17,10 @@ package dcf
 
 import (
 	"relmac/internal/frames"
+	"relmac/internal/geom"
 	"relmac/internal/mac"
 	"relmac/internal/sim"
+	"relmac/internal/topo"
 )
 
 // Multicaster is the group-service state machine of a specific multicast
@@ -64,6 +66,11 @@ type Station struct {
 	// Responder.DueReport when a lifecycle observer is attached; caching
 	// it keeps the enabled path free of a per-tick closure allocation.
 	dropHook func(*frames.Frame)
+	// abortHook is the cached deadline-drop callback handed to
+	// Queue.DropExpired every Tick — same idiom as dropHook: the env a
+	// station sees is stable for its lifetime, so one closure serves
+	// every slot instead of allocating a fresh capture per tick.
+	abortHook func(*sim.Request)
 }
 
 // NewStation builds a Station for the given node using mc for group
@@ -115,7 +122,10 @@ func (st *Station) Tick(env *sim.Env) *frames.Frame {
 		return f
 	}
 	// Queue maintenance.
-	st.queue.DropExpired(now, func(r *sim.Request) { env.ReportAbort(r, sim.AbortDeadline) })
+	if st.abortHook == nil {
+		st.abortHook = func(r *sim.Request) { env.ReportAbort(r, sim.AbortDeadline) }
+	}
+	st.queue.DropExpired(now, st.abortHook)
 	if st.cur != nil && st.cur.Expired(now) {
 		st.abortCurrent(env)
 	}
@@ -288,19 +298,13 @@ func (st *Station) yieldDuration(env *sim.Env, f *frames.Frame) int {
 	}
 	tp := env.Topo()
 	me := env.Pos()
-	near := func(a frames.Addr) bool {
-		if a < 0 || int(a) >= tp.N() {
-			return true // unknown receiver: stay conservative
-		}
-		return me.InRange(tp.Pos(int(a)), tp.Radius())
-	}
 	if f.Group == nil {
-		if near(f.Dst) {
+		if nearReceiver(tp, me, f.Dst) {
 			return f.Duration
 		}
 	} else {
 		for _, a := range f.Group {
-			if near(a) {
+			if nearReceiver(tp, me, a) {
 				return f.Duration
 			}
 		}
@@ -310,6 +314,17 @@ func (st *Station) yieldDuration(env *sim.Env, f *frames.Frame) int {
 		return f.Duration
 	}
 	return ctsWindow
+}
+
+// nearReceiver reports whether address a names a station within me's
+// transmission range; unknown addresses count as near so the exposed-
+// terminal optimisation stays conservative. A plain function (not a
+// closure over tp/me) so the overhear path allocates nothing.
+func nearReceiver(tp *topo.Topology, me geom.Point, a frames.Addr) bool {
+	if a < 0 || int(a) >= tp.N() {
+		return true // unknown receiver: stay conservative
+	}
+	return me.InRange(tp.Pos(int(a)), tp.Radius())
 }
 
 // Deliver implements sim.MAC.

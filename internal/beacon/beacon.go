@@ -14,6 +14,8 @@
 package beacon
 
 import (
+	"sort"
+
 	"relmac/internal/frames"
 	"relmac/internal/geom"
 	"relmac/internal/sim"
@@ -63,7 +65,7 @@ func (t *NeighborTable) Neighbors(now sim.Slot, maxAge int) []int {
 		}
 		out = append(out, id)
 	}
-	sortInts(out)
+	sort.Ints(out)
 	return out
 }
 
@@ -82,14 +84,6 @@ func (t *NeighborTable) Expire(now sim.Slot, maxAge int) int {
 
 // Len returns the number of entries (regardless of age).
 func (t *NeighborTable) Len() int { return len(t.entries) }
-
-func sortInts(a []int) {
-	for i := 1; i < len(a); i++ {
-		for j := i; j > 0 && a[j] < a[j-1]; j-- {
-			a[j], a[j-1] = a[j-1], a[j]
-		}
-	}
-}
 
 // Station decorates an inner protocol MAC with periodic beaconing and
 // beacon-driven neighbor discovery. The inner MAC keeps full control of

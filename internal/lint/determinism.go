@@ -15,9 +15,19 @@ import (
 // say, as the default of an injectable clock field — is the sanctioned
 // structural escape: the wall clock then enters the sim path only when a
 // caller outside it installs the default.
+//
+// Since v2 the check is reachability-based on top of the direct-call
+// scan: a static call from a sim-path function into a package outside
+// the sim path is flagged when the callee transitively contains a banned
+// call, however many helpers deep. Reachability follows static edges and
+// function-value references only — interface dispatch is the sanctioned
+// attachment boundary (an Observer legitimately installed from outside
+// the sim path may read the wall clock; its package is simply not
+// sim-path). Calls that stay inside the sim path are not re-reported:
+// the callee's own package pass flags the fact at its source.
 var determinismAnalyzer = &Analyzer{
 	Name: "determinism",
-	Doc:  "no wall-clock or global-RNG calls in sim-path packages",
+	Doc:  "no wall-clock or global-RNG calls (or static calls reaching them) in sim-path packages",
 	Run:  runDeterminism,
 }
 
@@ -59,6 +69,37 @@ func runDeterminism(p *Pass) {
 			}
 			return true
 		})
+	}
+	reportEscapes(p, p.Cfg.inSimPath, "determinism", []FactKind{FactWallClock, FactGlobalRand})
+}
+
+// reportEscapes flags static call sites in this package whose immediate
+// target lies outside the guarded path set but transitively contains one
+// of the banned facts. Targets inside the guarded set are skipped — the
+// fact is reported at its source by that package's own pass — so each
+// violation surfaces exactly once.
+func reportEscapes(p *Pass, guarded func(string) bool, what string, kinds []FactKind) {
+	if !guarded(p.Path) {
+		return
+	}
+	g := p.Graph()
+	for _, node := range g.FuncsOf(p.Package) {
+		for _, c := range node.Calls {
+			if c.Callee == nil {
+				continue // interface dispatch: the sanctioned attachment boundary
+			}
+			tn := g.Nodes[c.Callee]
+			if tn == nil || guarded(tn.Pkg.Path) {
+				continue
+			}
+			for _, kind := range kinds {
+				if g.Reaches(c.Callee, kind, true) {
+					p.Reportf(c.Pos, "call leaves the %s-guarded path and reaches a banned construct: %s",
+						what, g.WitnessPath(c.Callee, kind, true))
+					break
+				}
+			}
+		}
 	}
 }
 

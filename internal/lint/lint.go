@@ -1,10 +1,21 @@
 // Package lint implements relmaclint, the project's static-analysis
 // suite. It enforces, mechanically, the invariants the simulation's
 // bit-reproducibility rests on and that were previously only guarded by
-// convention and golden tests:
+// convention and golden tests.
+//
+// Since v2 the suite is built on two shared layers (see callgraph.go and
+// dataflow.go): a module-wide call graph — static calls, method-value
+// references, and interface dispatch approximated by implementing-type
+// sets — and a lightweight intra-procedural dataflow pass that
+// classifies storage roots (local / receiver-rooted / global), PRNG
+// provenance and allocation sites. Both are built once per Suite run;
+// every analyzer queries the same instance.
+//
+// The checks:
 //
 //   - determinism: no wall-clock reads (time.Now, time.Since) and no
-//     global math/rand functions on sim-path packages;
+//     global math/rand functions on sim-path packages — direct calls and
+//     static call chains that reach one, however many helpers deep;
 //   - seedflow: every rand.New / rand.NewSource seed must be traceable to
 //     a parameter, config field or derivation — never an untracked
 //     literal;
@@ -16,10 +27,30 @@
 //     sim.CombineObservers / MultiObserver, never hand-rolled fan-out
 //     loops, preserving panic attribution;
 //   - simsafe: no goroutine spawns and no sync.Pool in the packages that
-//     run inside the slot loop — recycling there must use explicit
-//     deterministic free-lists, and the loop stays single-threaded;
+//     run inside the slot loop, nor reachable from them through static
+//     calls — recycling there must use explicit deterministic free-lists;
 //   - docpresent: every sim-path package carries a package doc comment
-//     stating its role, determinism constraints and entry points.
+//     stating its role, determinism constraints and entry points;
+//   - prngflow: observer hook implementations (Observer, SlotObserver,
+//     IdleSpanObserver, LifecycleObserver) must not reach a PRNG draw —
+//     a draw inside a hook shifts every later draw in the run, so
+//     attaching the observer changes trajectories;
+//   - hookpure: hooks must not reach a sim.Engine/Env mutation (stores
+//     through engine state, or non-allowlisted Engine/Env method calls);
+//   - maporder: map iteration in sim-path packages must not leak Go's
+//     randomized iteration order — no draws, output, unsorted result
+//     appends or float accumulation in range bodies;
+//   - hotalloc: no unbudgeted allocation sites statically reachable from
+//     the slot path (Engine.Run/Step plus every sim.MAC implementation),
+//     keeping the relbench one-allocation-per-transmission budget honest
+//     at review time. Amortized receiver-rooted scratch, the accounted
+//     frames.Frame, and cold panic/error paths are exempt.
+//
+// Beyond findings, the suite emits the parallel-tile safety report
+// (Suite.TileSafetyReport, `relmaclint -tilereport`): a classification
+// of every serial-path function as pure, engine-local or
+// shared-mutating with witness paths — the concrete input for the
+// ROADMAP's parallel-resolver design.
 //
 // A finding can be suppressed per line with a
 //
@@ -68,6 +99,20 @@ type Config struct {
 	// EpsIdent may compare floats exactly.
 	EpsFile  string
 	EpsIdent string
+	// HotPathRoots are the functions whose static call closure is the
+	// hot slot path the hotalloc check guards, named as
+	// "pkg/path.Type.Method" or "pkg/path.Func" (no receiver
+	// punctuation).
+	HotPathRoots []string
+	// HotRootIfaces are interfaces in SimPkgPath whose loaded
+	// implementations' methods are hot roots too — the engine invokes
+	// them per slot through dynamic dispatch the static closure cannot
+	// see. Default: the MAC contract.
+	HotRootIfaces []string
+	// HotAllocTypes are named types ("pkg/path.Type") whose allocation is
+	// the accounted per-transmission currency of the relbench budget, and
+	// therefore exempt from hotalloc.
+	HotAllocTypes []string
 }
 
 // DefaultConfig returns the project configuration: the sim-path package
@@ -109,6 +154,12 @@ func DefaultConfig() *Config {
 		SimPkgPath: "relmac/internal/sim",
 		EpsFile:    "arc.go",
 		EpsIdent:   "coverEps",
+		HotPathRoots: []string{
+			"relmac/internal/sim.Engine.Run",
+			"relmac/internal/sim.Engine.Step",
+		},
+		HotRootIfaces: []string{"MAC"},
+		HotAllocTypes: []string{"relmac/internal/frames.Frame"},
 	}
 }
 
@@ -151,13 +202,17 @@ type Analyzer struct {
 	Run  func(p *Pass)
 }
 
-// Pass gives an analyzer its package plus the configuration and a report
-// sink.
+// Pass gives an analyzer its package plus the configuration, the suite
+// (for the shared call graph) and a report sink.
 type Pass struct {
 	*Package
 	Cfg    *Config
+	Suite  *Suite
 	report func(pos token.Pos, msg string)
 }
+
+// Graph returns the suite's shared module-wide call graph.
+func (p *Pass) Graph() *Graph { return p.Suite.Graph() }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -174,6 +229,10 @@ func Analyzers() []*Analyzer {
 		obswiringAnalyzer,
 		simsafeAnalyzer,
 		docpresentAnalyzer,
+		prngflowAnalyzer,
+		hookpureAnalyzer,
+		maporderAnalyzer,
+		hotallocAnalyzer,
 	}
 }
 
@@ -185,70 +244,6 @@ func CheckNames() []string {
 		names = append(names, a.Name)
 	}
 	return names
-}
-
-// Run executes the configured analyzers over every package and applies
-// //relmac:allow directives. Findings and suppressions come back sorted
-// by position.
-func Run(pkgs []*Package, cfg *Config) Result {
-	enabled := map[string]bool{}
-	for _, c := range cfg.Checks {
-		enabled[c] = true
-	}
-	// Non-nil slices keep the -json output `[]` rather than `null`,
-	// which is what CI annotation tooling expects.
-	res := Result{Findings: []Finding{}, Suppressions: []Suppression{}}
-	for _, pkg := range pkgs {
-		dirs, malformed := parseDirectives(pkg)
-		res.Findings = append(res.Findings, malformed...)
-		var raw []Finding
-		for _, a := range Analyzers() {
-			if len(enabled) > 0 && !enabled[a.Name] {
-				continue
-			}
-			name := a.Name
-			pass := &Pass{
-				Package: pkg,
-				Cfg:     cfg,
-				report: func(pos token.Pos, msg string) {
-					p := pkg.Fset.Position(pos)
-					raw = append(raw, Finding{
-						Check: name, File: p.Filename, Line: p.Line, Col: p.Column, Message: msg,
-					})
-				},
-			}
-			a.Run(pass)
-		}
-		for _, f := range raw {
-			if d := dirs.match(f); d != nil {
-				d.used = true
-				res.Suppressions = append(res.Suppressions, Suppression{
-					Check: f.Check, File: f.File, Line: f.Line, Reason: d.reason,
-				})
-				continue
-			}
-			res.Findings = append(res.Findings, f)
-		}
-		// A directive that silenced nothing is stale: either the violation
-		// was fixed (delete the directive) or the check name is wrong.
-		for _, d := range dirs {
-			if !d.used {
-				res.Findings = append(res.Findings, Finding{
-					Check: "directive", File: d.file, Line: d.line, Col: 1,
-					Message: fmt.Sprintf("//relmac:allow %s suppresses nothing on this line; remove it", d.check),
-				})
-			}
-		}
-	}
-	sortFindings(res.Findings)
-	sort.Slice(res.Suppressions, func(i, j int) bool {
-		a, b := res.Suppressions[i], res.Suppressions[j]
-		if a.File != b.File {
-			return a.File < b.File
-		}
-		return a.Line < b.Line
-	})
-	return res
 }
 
 func sortFindings(fs []Finding) {

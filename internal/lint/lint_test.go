@@ -29,7 +29,7 @@ func loadFixture(t *testing.T, rel string, cfg *Config) (*Package, Result) {
 	for _, terr := range pkg.TypeErrors {
 		t.Errorf("fixture %s: type error: %v", rel, terr)
 	}
-	return pkg, Run([]*Package{pkg}, cfg)
+	return pkg, Run(loader, []*Package{pkg}, cfg)
 }
 
 // wantRe extracts the backtick-quoted `// want` expectation patterns
@@ -79,6 +79,14 @@ func TestFixtures(t *testing.T) {
 		{"simsafe/good", func(c *Config) { c.SerialPaths = []string{"fix/simsafe"} }},
 		{"docpresent/bad", func(c *Config) { c.SimPaths = []string{"fix/docpresent"} }},
 		{"docpresent/good", func(c *Config) { c.SimPaths = []string{"fix/docpresent"} }},
+		{"prngflow/bad", nil},
+		{"prngflow/good", nil},
+		{"hookpure/bad", nil},
+		{"hookpure/good", nil},
+		{"maporder/bad", func(c *Config) { c.SimPaths = []string{"fix/maporder"} }},
+		{"maporder/good", func(c *Config) { c.SimPaths = []string{"fix/maporder"} }},
+		{"hotalloc/bad", func(c *Config) { c.HotPathRoots = []string{"fix/hotalloc/bad.run"} }},
+		{"hotalloc/good", func(c *Config) { c.HotPathRoots = []string{"fix/hotalloc/good.run"} }},
 	}
 	for _, tc := range cases {
 		t.Run(tc.rel, func(t *testing.T) {
@@ -182,7 +190,7 @@ func TestSuiteCleanOnRealModule(t *testing.T) {
 			t.Errorf("%s: type error: %v", p.Path, terr)
 		}
 	}
-	res := Run(pkgs, DefaultConfig())
+	res := Run(loader, pkgs, DefaultConfig())
 	for _, f := range res.Findings {
 		t.Errorf("finding: %s", f)
 	}
@@ -238,7 +246,7 @@ func stamp(clock func() time.Time) time.Time {
 		}
 		cfg := DefaultConfig()
 		cfg.SimPaths = []string{"mutfix"}
-		return Run([]*Package{pkg}, cfg)
+		return Run(loader, []*Package{pkg}, cfg)
 	}
 
 	if res := lintSrc("clean", clean); len(res.Findings) != 0 {

@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/types"
+	"sort"
+)
+
+// prngflowAnalyzer mechanizes the PRNG-neutrality contract the engine's
+// observer interfaces document: hooks observe, they must not consume
+// randomness. A single draw inside an OnSlot implementation shifts every
+// subsequent draw in the run, so attaching or detaching that observer
+// changes trajectories — exactly the drift the golden byte-diff tests
+// catch after the fact, flagged here at review time instead.
+//
+// The taint rule comes from the dataflow layer: a *rand.Rand is clean
+// only when constructed locally via rand.New(...). Draws on parameters,
+// fields, or engine-supplied generators (Env.Rand(), Engine.Rand()) are
+// tainted — they alias the simulation's shared, order-sensitive stream.
+// The check then walks the call graph (interface dispatch included, via
+// implementing-type sets) from every hook implementation declared in the
+// package, and reports the hook when any tainted draw or global
+// math/rand call is reachable from it.
+var prngflowAnalyzer = &Analyzer{
+	Name: "prngflow",
+	Doc:  "observer hook implementations must not reach PRNG draws",
+	Run:  runPrngflow,
+}
+
+// hookInterfaces are the sim-package interfaces whose implementations
+// run inside the slot loop as pure observers.
+var hookInterfaces = []string{"Observer", "SlotObserver", "IdleSpanObserver", "LifecycleObserver"}
+
+func runPrngflow(p *Pass) {
+	for _, hook := range hookMethods(p) {
+		for _, kind := range []FactKind{FactTaintedDraw, FactGlobalRand} {
+			if p.Graph().Reaches(hook.Fn, kind, false) {
+				p.Reportf(hook.Decl.Pos(), "observer hook %s reaches a PRNG draw; hooks must be PRNG-neutral: %s",
+					shortName(hook.Fn), p.Graph().WitnessPath(hook.Fn, kind, false))
+				break
+			}
+		}
+	}
+}
+
+// hookMethods returns the hook-interface method implementations declared
+// in the pass's package, in source order. Methods promoted from an
+// embedded type declared elsewhere are checked by that package's own
+// pass, keeping every finding attributed exactly once.
+func hookMethods(p *Pass) []*FuncNode {
+	g := p.Graph()
+	var simPkg *types.Package
+	for _, pkg := range g.Pkgs {
+		if pkg.Path == p.Cfg.SimPkgPath && pkg.Types != nil {
+			simPkg = pkg.Types
+			break
+		}
+	}
+	if simPkg == nil && p.Types != nil && p.Path == p.Cfg.SimPkgPath {
+		simPkg = p.Types
+	}
+	if simPkg == nil {
+		return nil
+	}
+	var ifaces []*types.Interface
+	for _, name := range hookInterfaces {
+		if tn, ok := simPkg.Scope().Lookup(name).(*types.TypeName); ok {
+			if it, ok := tn.Type().Underlying().(*types.Interface); ok {
+				ifaces = append(ifaces, it)
+			}
+		}
+	}
+	seen := map[*types.Func]bool{}
+	var out []*FuncNode
+	for _, named := range g.named {
+		if named.Obj().Pkg() != p.Types {
+			continue
+		}
+		for _, it := range ifaces {
+			var impl types.Type
+			switch {
+			case types.Implements(named, it):
+				impl = named
+			case types.Implements(types.NewPointer(named), it):
+				impl = types.NewPointer(named)
+			default:
+				continue
+			}
+			for i := 0; i < it.NumMethods(); i++ {
+				obj, _, _ := types.LookupFieldOrMethod(impl, true, it.Method(i).Pkg(), it.Method(i).Name())
+				mf, ok := obj.(*types.Func)
+				if !ok {
+					continue
+				}
+				mf = canon(mf)
+				node := g.Nodes[mf]
+				if node == nil || node.Pkg != p.Package || seen[mf] {
+					continue
+				}
+				seen[mf] = true
+				out = append(out, node)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Decl.Pos() < out[j].Decl.Pos() })
+	return out
+}

@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+)
+
+// Minimal SARIF 2.1.0 output, enough for GitHub code scanning to
+// annotate PR diffs: one run, one driver, a rule per analyzer, and one
+// result per finding with a repo-relative physical location. Only the
+// fields code scanning consumes are emitted.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// ToSARIF renders the result as a SARIF log. File paths are rewritten
+// relative to root (the module root) so the URIs match the repository
+// layout code scanning expects. Suppressions are not emitted — they are
+// visible, justified exceptions, not findings.
+func ToSARIF(res Result, root string) any {
+	var rules []sarifRule
+	ruleIDs := map[string]bool{}
+	for _, a := range Analyzers() {
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+		ruleIDs[a.Name] = true
+	}
+	// The synthetic "directive" check (stale/malformed //relmac:allow)
+	// needs a rule entry too.
+	rules = append(rules, sarifRule{ID: "directive", ShortDescription: sarifMessage{Text: "//relmac:allow directives must be well-formed and live"}})
+
+	results := []sarifResult{}
+	for _, f := range res.Findings {
+		uri := f.File
+		if root != "" {
+			if rel, err := filepath.Rel(root, f.File); err == nil && !strings.HasPrefix(rel, "..") {
+				uri = filepath.ToSlash(rel)
+			}
+		}
+		results = append(results, sarifResult{
+			RuleID:  f.Check,
+			Level:   "error",
+			Message: sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: uri},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Col},
+				},
+			}},
+		})
+	}
+	return sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "relmaclint", Rules: rules}},
+			Results: results,
+		}},
+	}
+}

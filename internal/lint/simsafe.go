@@ -24,9 +24,15 @@ import (
 // The experiment harness is deliberately outside the serial set — Sweep
 // fans runs out across workers, which is safe because each run owns an
 // engine and a PRNG.
+//
+// Since v2 the check also follows static calls out of the serial set: a
+// helper chain that ends in a go statement is flagged at the call site
+// where the serial path escapes, with the offending path in the message.
+// Interface dispatch is not followed — attaching a concurrent observer
+// is a deliberate act by the code outside the loop that owns it.
 var simsafeAnalyzer = &Analyzer{
 	Name: "simsafe",
-	Doc:  "no goroutine spawns or sync.Pool in serial sim-path packages",
+	Doc:  "no goroutine spawns or sync.Pool (direct or statically reachable) in serial sim-path packages",
 	Run:  runSimsafe,
 }
 
@@ -47,6 +53,7 @@ func runSimsafe(p *Pass) {
 			return true
 		})
 	}
+	reportEscapes(p, p.Cfg.inSerialPath, "simsafe", []FactKind{FactGoSpawn, FactSyncPool})
 }
 
 // isSyncPool reports whether the type name is sync.Pool.

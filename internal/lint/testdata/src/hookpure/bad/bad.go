@@ -1,0 +1,33 @@
+// Package bad implements observer hooks that steer the simulation they
+// are supposed to observe: each reaches a mutating sim.Env dispatcher,
+// re-entering the engine's per-slot bookkeeping from measurement code.
+package bad
+
+import (
+	"relmac/internal/sim"
+)
+
+// reinjector aborts a request from inside a slot hook — a direct
+// engine-state mutation.
+type reinjector struct {
+	env *sim.Env
+	req *sim.Request
+}
+
+func (r *reinjector) OnSlot(now sim.Slot, airing []sim.AiringTx, collided bool) { // want `observer hook \(bad\.reinjector\)\.OnSlot reaches a sim\.Engine/Env mutation`
+	r.env.ReportAbort(r.req, sim.AbortDeadline)
+}
+
+// dropForger reaches the mutation through a helper; the call-graph
+// closure still attributes it to the hook.
+type dropForger struct {
+	env *sim.Env
+}
+
+func (d *dropForger) OnSlot(now sim.Slot, airing []sim.AiringTx, collided bool) { // want `observer hook \(bad\.dropForger\)\.OnSlot reaches a sim\.Engine/Env mutation`
+	forge(d.env)
+}
+
+func forge(env *sim.Env) {
+	env.ReportResponseDrop(nil)
+}

@@ -1,0 +1,21 @@
+// Package good implements observer hooks that only read the engine
+// (allowlisted accessors) and write their own receiver state — the
+// sanctioned measurement pattern hookpure must not flag.
+package good
+
+import (
+	"relmac/internal/sim"
+)
+
+// spanRecorder reads Env.Now (read-only allowlist) and appends into its
+// own receiver-rooted storage.
+type spanRecorder struct {
+	env  *sim.Env
+	seen []sim.Slot
+}
+
+func (s *spanRecorder) OnSlot(now sim.Slot, airing []sim.AiringTx, collided bool) {
+	if s.env != nil && s.env.Now() == now {
+		s.seen = append(s.seen, now)
+	}
+}

@@ -1,0 +1,30 @@
+// Package bad allocates fresh storage on every pass through its hot
+// slot loop: unamortized make, an escaping closure, interface boxing
+// and a map literal, all statically reachable from the configured root.
+package bad
+
+type engine struct {
+	hooks []func()
+}
+
+// run is the configured hot root; step is reached via the static call.
+func run(e *engine, slots int) {
+	for i := 0; i < slots; i++ {
+		e.step(i)
+	}
+}
+
+func (e *engine) step(now int) {
+	scratch := make([]int, 0, 8)   // want `make\(\[\]\) allocation on the hot slot path`
+	scratch = append(scratch, now) // want `append growth on the hot slot path`
+	_ = scratch
+
+	e.hooks = append(e.hooks, func() { _ = now }) // want `closure allocation on the hot slot path`
+
+	sink(now) // want `interface boxing of int on the hot slot path`
+
+	seen := map[int]bool{now: true} // want `map literal allocation on the hot slot path`
+	_ = seen
+}
+
+func sink(v any) { _ = v }

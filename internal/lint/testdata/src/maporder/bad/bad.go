@@ -1,0 +1,57 @@
+// Package bad leaks Go's randomized map iteration order into
+// order-sensitive effects: PRNG draws, output, unsorted result slices
+// and float accumulation.
+package bad
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// draws consumes randomness once per key: the number-and-order of draws
+// then depends on iteration order.
+func draws(m map[int]int, r *rand.Rand) int {
+	n := 0
+	for k := range m {
+		n += r.Intn(k + 1) // want `PRNG draw inside map iteration`
+	}
+	return n
+}
+
+// dump writes output directly from the loop body.
+func dump(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want `output written inside map iteration`
+	}
+}
+
+// dumpVia reaches process output through a helper; the call-graph
+// closure catches the indirection.
+func dumpVia(m map[string]int) {
+	for k := range m {
+		emit(k) // want `call inside map iteration reaches process output`
+	}
+}
+
+func emit(k string) {
+	fmt.Println(k)
+}
+
+// keys collects into an outer slice and never sorts it.
+func keys(m map[int]bool) []int {
+	var out []int
+	for k := range m {
+		out = append(out, k) // want `append of map-iteration results into out without a later sort`
+	}
+	return out
+}
+
+// total float-accumulates: float addition is not associative, so the
+// sum's low bits depend on visit order.
+func total(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation into sum inside map iteration`
+	}
+	return sum
+}

@@ -1,0 +1,45 @@
+// Package good iterates maps in order-independent ways: collect-then-
+// sort, keyed stores into another map, integer accumulation and
+// delete-while-ranging. None of these leak iteration order.
+package good
+
+import "sort"
+
+// keys is the sanctioned collect-then-sort idiom.
+func keys(m map[int]bool) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// invert stores keyed into another map — order-independent by
+// construction.
+func invert(m map[int]string) map[string]int {
+	inv := make(map[string]int, len(m))
+	for k, v := range m {
+		inv[v] = k
+	}
+	return inv
+}
+
+// count integer-accumulates; integer addition is associative.
+func count(m map[int]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// prune deletes while ranging — explicitly legal in Go and
+// order-independent.
+func prune(m map[int]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}

@@ -1,0 +1,116 @@
+package lint
+
+import (
+	"sort"
+)
+
+// The tile-safety report is the concrete input artifact for the
+// ROADMAP's parallel-resolver item: before the simsafe no-goroutine rule
+// can be relaxed behind a differential-tested gate, that gate needs to
+// know which functions are safe to run concurrently across
+// interference-independent tiles. The report classifies every function
+// declared in the serial-path packages by the strongest effect in its
+// transitive call closure — here with interface dispatch expanded to the
+// implementing-type sets, because a parallel resolver cannot choose which
+// attachment it gets:
+//
+//   - "pure": reads only (local writes allowed — they are invisible to
+//     other tiles). Safe to run concurrently as-is.
+//   - "engine-local": mutates only receiver/parameter-reachable state,
+//     including the engine itself. Safe per tile once each tile owns its
+//     engine shard; the write sites show what must be sharded.
+//   - "shared-mutating": reaches process-global effects — a goroutine
+//     spawn, channel or sync use, a package-level-variable store,
+//     process I/O, a wall-clock read, or a PRNG draw from the shared
+//     stream. The PRNG draws are the deep constraint: the single
+//     engine-owned stream serializes every tile that draws from it, so
+//     the report's offending paths are exactly the sites a per-tile
+//     PRNG-splitting design has to rework.
+//
+// The report is informational — it produces no findings — and is emitted
+// by `relmaclint -tilereport`.
+
+// TileFunc is the classification of one function.
+type TileFunc struct {
+	Func  string `json:"func"`
+	Pkg   string `json:"pkg"`
+	File  string `json:"file"`
+	Line  int    `json:"line"`
+	Class string `json:"class"`
+	// Reasons carries one witness path per contributing effect for the
+	// non-pure classes.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// TileReport is the JSON document -tilereport emits.
+type TileReport struct {
+	// Packages are the serial-path packages covered, in path order.
+	Packages []string `json:"packages"`
+	// Summary counts functions per class.
+	Summary map[string]int `json:"summary"`
+	// Funcs holds every function, sorted by package then position.
+	Funcs []TileFunc `json:"funcs"`
+}
+
+// sharedKinds are the fact kinds that make a function shared-mutating,
+// with the reason label used in the report.
+var sharedKinds = []struct {
+	kind FactKind
+	why  string
+}{
+	{FactGoSpawn, "goroutine"},
+	{FactSyncPool, "sync.Pool"},
+	{FactChanOp, "channel op"},
+	{FactSyncOp, "sync primitive"},
+	{FactGlobalWrite, "global write"},
+	{FactProcessIO, "process I/O"},
+	{FactWallClock, "wall clock"},
+	{FactGlobalRand, "global PRNG"},
+	{FactTaintedDraw, "shared-stream PRNG draw"},
+}
+
+// TileSafetyReport classifies every function declared in the serial-path
+// packages among the given lint targets.
+func (s *Suite) TileSafetyReport(pkgs []*Package) *TileReport {
+	g := s.Graph()
+	rep := &TileReport{Summary: map[string]int{}, Funcs: []TileFunc{}}
+	for _, pkg := range pkgs {
+		if !s.Cfg.inSerialPath(pkg.Path) {
+			continue
+		}
+		rep.Packages = append(rep.Packages, pkg.Path)
+		for _, node := range g.FuncsOf(pkg) {
+			class := "pure"
+			var reasons []string
+			for _, sk := range sharedKinds {
+				if g.Reaches(node.Fn, sk.kind, false) {
+					class = "shared-mutating"
+					reasons = append(reasons, sk.why+": "+g.WitnessPath(node.Fn, sk.kind, false))
+				}
+			}
+			if class == "pure" &&
+				(g.Reaches(node.Fn, FactRecvWrite, false) || g.Reaches(node.Fn, FactEngineWrite, false)) {
+				class = "engine-local"
+			}
+			pos := pkg.Fset.Position(node.Decl.Pos())
+			rep.Summary[class]++
+			rep.Funcs = append(rep.Funcs, TileFunc{
+				Func: shortName(node.Fn), Pkg: pkg.Path,
+				File: pos.Filename, Line: pos.Line,
+				Class: class, Reasons: reasons,
+			})
+		}
+	}
+	sort.Strings(rep.Packages)
+	sort.Slice(rep.Funcs, func(i, j int) bool {
+		a, b := rep.Funcs[i], rep.Funcs[j]
+		if a.Pkg != b.Pkg {
+			return a.Pkg < b.Pkg
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return rep
+}

@@ -221,6 +221,9 @@ func (s *MetricsServer) serveSnapshot(w http.ResponseWriter, r *http.Request) {
 	for name, fn := range s.extras {
 		extras = append(extras, namedFn{name, fn})
 	}
+	// The callbacks run below, outside the lock; sorting fixes their
+	// evaluation order so any side effects are deterministic run-to-run.
+	sort.Slice(extras, func(i, j int) bool { return extras[i].name < extras[j].name })
 	gauges := make(map[string]func() float64, len(s.gauges))
 	for name, fn := range s.gauges {
 		gauges[name] = fn
