@@ -48,6 +48,7 @@ func main() {
 	crashSpec := flag.String("crash", "", "fault: node crash schedule, mttf:mttr in slots")
 	locNoise := flag.Float64("locnoise", 0, "fault: stddev of the Gaussian location error LAMM sees")
 	listen := flag.String("listen", "", "serve live sweep metrics on this address (e.g. :9090): /metrics is Prometheus text (airtime ledger + sweep progress/ETA gauges), /snapshot is JSON")
+	workers := flag.Int("workers", 0, "parallel tile-resolver workers per run (0 = serial engine); trajectories differ from serial but are worker-count independent")
 	flightDir := flag.String("flight-dir", "", fmt.Sprintf("drift experiment: dump per-message lifecycle span traces (JSONL, one file per run) into this directory for any protocol whose weighted drift exceeds experiments.DriftTolerance (%.2f)", experiments.DriftTolerance))
 	flag.Parse()
 
@@ -110,7 +111,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "metrics listening on http://%s\n", ln.Addr())
 	}
 
-	o := experiments.Options{Runs: *runs, Slots: *slots, Fault: faultCfg, FlightDir: *flightDir}
+	o := experiments.Options{Runs: *runs, Slots: *slots, Fault: faultCfg, FlightDir: *flightDir, Workers: *workers}
 	if *withPlain {
 		o.Protocols = experiments.AllProtocols
 	}

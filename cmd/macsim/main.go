@@ -59,6 +59,8 @@ func main() {
 	capName := flag.String("capture", "zorzi-rao", "capture model: none|zorzi-rao|sir")
 	runs := flag.Int("runs", 10, "independent runs to average")
 	seed := flag.Int64("seed", 1, "base random seed")
+	workers := flag.Int("workers", 0, "parallel tile-resolver workers per run (0 = serial engine); results are identical for any worker count >= 1 but differ from serial")
+	tileSize := flag.Float64("tilesize", 0, "tile side for -workers (0 = 4x radius; raised to the 2x radius minimum)")
 	chartSlots := flag.Int("chart", 0, "render an ASCII channel-occupancy chart of the first N slots (single protocol, single run)")
 	traceFile := flag.String("trace", "", "write an event trace of a single run to this file: *.jsonl for JSONL, anything else for Chrome trace-event JSON (open at ui.perfetto.dev)")
 	stats := flag.Bool("stats", false, "print the stat registry (per-protocol counters and histograms) after the run table")
@@ -216,6 +218,8 @@ func main() {
 			cfg.Threshold = *threshold
 			cfg.Capture = capModel
 			cfg.Fault = faultCfg
+			cfg.Workers = *workers
+			cfg.TileSize = *tileSize
 			if st != nil {
 				cfg.Observers = append(cfg.Observers, st)
 			}

@@ -6,14 +6,20 @@
 //
 // Usage:
 //
-//	go run ./cmd/relbench [-quick] [-json] [-out BENCH.json]
+//	go run ./cmd/relbench [-quick|-large] [-json] [-out BENCH.json]
 //	                      [-baseline BENCH_BASELINE.json] [-tolerance 0.25]
 //
-// The gate rests only on machine-independent quantities — the
+// The baseline gate rests only on machine-independent quantities — the
 // reference/optimized speedup ratio and exact allocations per slot —
 // so the committed baseline is valid on any machine; absolute
-// nanoseconds are recorded as advisory context. Exit status is 1 when a
-// regression exceeds the tolerance band, 2 on a measurement failure.
+// nanoseconds are recorded as advisory context. The parallel scaling
+// section additionally enforces an absolute floor on the 1→8-worker
+// speedup, but only on machines with at least 8 CPU cores (below that
+// the scaling number reflects the hardware, not the resolver, and is
+// reported as advisory). -large switches to the 100 000-station
+// profile, sized for the tile resolver's scaling regime. Exit status is
+// 1 when a regression exceeds the tolerance band, 2 on a measurement
+// failure.
 //
 // To refresh the baseline after an intentional performance change, run
 // both profiles and merge the reports:
@@ -35,6 +41,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "use the CI smoke profile instead of the full profile")
+	large := flag.Bool("large", false, "use the 100k-station scaling profile (parallel tile-resolver stress)")
 	jsonOut := flag.Bool("json", false, "print the report as JSON to stdout")
 	out := flag.String("out", "BENCH.json", "path to write the report (empty disables)")
 	baseline := flag.String("baseline", "BENCH_BASELINE.json", "baseline to compare against (missing file skips the gate)")
@@ -44,6 +51,13 @@ func main() {
 	profile := relbench.Full
 	if *quick {
 		profile = relbench.Quick
+	}
+	if *large {
+		if *quick {
+			fmt.Fprintln(os.Stderr, "relbench: -quick and -large are mutually exclusive")
+			os.Exit(2)
+		}
+		profile = relbench.Large
 	}
 
 	report, err := relbench.Measure(profile, func(line string) {
@@ -76,6 +90,15 @@ func main() {
 			fmt.Printf("  sparse: optimized %.0f ns/slot (%.2f allocs/slot), reference %.0f ns/slot, speedup %.2fx\n",
 				s.Optimized.NsPerSlot, s.Optimized.AllocsPerSlot,
 				s.Reference.NsPerSlot, s.Speedup)
+		}
+		if pa := report.Parallel; pa != nil {
+			fmt.Printf("  parallel: %d nodes, %d tiles, %d cores; serial %.0f ns/slot\n",
+				pa.Nodes, pa.Tiles, pa.Cores, pa.Serial.NsPerSlot)
+			for _, w := range pa.Workers {
+				fmt.Printf("    %d worker(s): %.0f ns/slot (%.0f slots/sec)\n",
+					w.Workers, w.NsPerSlot, w.SlotsPerSec)
+			}
+			fmt.Printf("    1->8 speedup %.2fx\n", pa.SpeedupAt8)
 		}
 		for _, p := range report.Protocols {
 			fmt.Printf("  %-8s %6d slots in %8.1f ms (%.0f slots/sec)\n",

@@ -15,9 +15,11 @@
 // (testdata, vendor and hidden directories are skipped). -sarif writes a
 // SARIF 2.1.0 log for GitHub code scanning alongside the normal output;
 // -tilereport writes the parallel-tile safety classification of every
-// serial-path function; -list prints the registered checks and exits.
-// The exit status is 1 when findings remain after suppression, 2 on a
-// load failure.
+// serial-path function and enforces the dispatch gate: any function the
+// parallel resolver hands to pool workers that classifies
+// shared-mutating fails the run. -list prints the registered checks and
+// exits. The exit status is 1 when findings remain after suppression or
+// the dispatch gate fails, 2 on a load failure.
 package main
 
 import (
@@ -85,10 +87,26 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	dispatchUnsafe := false
 	if *tileOut != "" {
-		if err := writeJSON(*tileOut, suite.TileSafetyReport(pkgs)); err != nil {
+		tile := suite.TileSafetyReport(pkgs)
+		if err := writeJSON(*tileOut, tile); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
+		}
+		// The dispatch section is a gate, not just a report: code handed
+		// to the parallel resolver's workers must stay pure/engine-local.
+		if !tile.DispatchSafe {
+			dispatchUnsafe = true
+			for _, d := range tile.Dispatch {
+				if d.Safe {
+					continue
+				}
+				fmt.Fprintf(os.Stderr, "relmaclint: tile dispatch root %s is %s:\n", d.Root, d.Class)
+				for _, r := range d.Reasons {
+					fmt.Fprintf(os.Stderr, "  %s\n", r)
+				}
+			}
 		}
 	}
 
@@ -109,7 +127,7 @@ func main() {
 		fmt.Printf("relmaclint: %d package(s), %d finding(s), %d suppression(s)\n",
 			len(pkgs), len(res.Findings), len(res.Suppressions))
 	}
-	if len(res.Findings) > 0 {
+	if len(res.Findings) > 0 || dispatchUnsafe {
 		os.Exit(1)
 	}
 }

@@ -42,8 +42,7 @@ func Drift(o Options) (*report.Table, map[Protocol]analysis.DriftSummary, error)
 	monitors := make(map[Protocol][]*obs.DriftMonitor)
 	flights := make(map[Protocol][]*obs.Flight)
 	_, err := Sweep(1, o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
-		cfg.Slots = o.Slots
-		cfg.Fault = o.Fault
+		o.apply(cfg)
 		m := obs.NewDriftMonitor(analysis.RoundModelFor(string(cfg.Protocol)))
 		cfg.Observers = append(cfg.Observers, m)
 		var fl *obs.Flight

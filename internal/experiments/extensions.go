@@ -84,7 +84,9 @@ func runMobile(cfg RunConfig, speed float64, beaconEvery int) (metrics.Summary, 
 		Impairment: imp,
 		Seed:       cfg.Seed ^ 0x1e3779b97f4a7c15, Observer: col,
 		SlotHook: driver.Hook(),
+		Parallel: sim.Parallel{Workers: cfg.Workers, TileSize: cfg.TileSize},
 	})
+	defer eng.Close()
 	eng.AttachMACs(factory)
 	eng.Run(cfg.Slots, gen)
 	return col.Summarize(cfg.Threshold, metrics.GroupFilter(sim.Slot(cfg.Slots))), nil
@@ -109,8 +111,7 @@ func Mobility(o Options) (*report.Table, error) {
 				pi, pr, run := pi, pr, run
 				tasks = append(tasks, func() {
 					cfg := Defaults(o.Protocols[pr], seedFor(pi, pr, run))
-					cfg.Slots = o.Slots
-					cfg.Fault = o.Fault
+					o.apply(&cfg)
 					s, err := runMobile(cfg, MobilitySpeeds[pi], beaconEvery)
 					mu.Lock()
 					if err != nil && firstErr == nil {
@@ -164,7 +165,9 @@ func LocationError(o Options) (*report.Table, error) {
 				eng := sim.New(sim.Config{
 					Topo: tp, Capture: cfg.Capture,
 					Seed: seed * 31, Observer: col,
+					Parallel: sim.Parallel{Workers: o.Workers},
 				})
+				defer eng.Close()
 				eng.AttachMACs(factory)
 				eng.Run(cfg.Slots, gen)
 				s := col.Summarize(cfg.Threshold, metrics.GroupFilter(sim.Slot(cfg.Slots)))
@@ -210,7 +213,7 @@ func Overhead(o Options) (*report.Table, error) {
 			pr, run := pr, run
 			tasks = append(tasks, func() {
 				cfg := Defaults(o.Protocols[pr], seedFor(0, pr, run))
-				cfg.Slots = o.Slots
+				o.apply(&cfg)
 				cfg.Mix = traffic.Mix{Multicast: 0.5, Broadcast: 0.5}
 				res, err := Run(cfg)
 				mu.Lock()

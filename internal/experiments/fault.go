@@ -33,8 +33,7 @@ func FaultPER(o Options) (delivery, contentions *report.Table, err error) {
 	}
 	o = o.normal()
 	results, err := Sweep(len(FaultPERs), o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
-		cfg.Slots = o.Slots
-		cfg.Fault = o.Fault
+		o.apply(cfg)
 		cfg.Fault.PER = FaultPERs[p]
 	}, false)
 	if err != nil {
@@ -77,7 +76,7 @@ func FaultBurst(o Options) (*report.Table, error) {
 		}}},
 	}
 	results, err := Sweep(len(configs), o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
-		cfg.Slots = o.Slots
+		o.apply(cfg)
 		cfg.Fault = configs[p].fc
 	}, false)
 	if err != nil {

@@ -36,6 +36,21 @@ type Options struct {
 	// exceeds DriftTolerance, so a clean gate writes nothing and a
 	// tripped one ships the evidence for the drill-down.
 	FlightDir string
+	// Workers > 0 runs every simulation with the engine's parallel tile
+	// resolver (RunConfig.Workers). The paper figures keep the serial
+	// default; the parallel drift gate opts in to pin the resolver's
+	// trajectories against the same closed forms.
+	Workers int
+}
+
+// apply copies the per-run knobs every sweep honours — duration, the
+// sweep-wide impairment and the parallel resolver — onto one run's
+// configuration. Sweeps that override Fault per point do so after
+// calling apply.
+func (o Options) apply(cfg *RunConfig) {
+	cfg.Slots = o.Slots
+	cfg.Fault = o.Fault
+	cfg.Workers = o.Workers
 }
 
 func (o Options) normal() Options {
@@ -121,8 +136,7 @@ func Density(o Options) (fig6a, fig9a, fig10a *report.Table, err error) {
 	o = o.normal()
 	results, err := Sweep(len(DensityPoints), o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
 		cfg.Nodes = DensityPoints[p]
-		cfg.Slots = o.Slots
-		cfg.Fault = o.Fault
+		o.apply(cfg)
 	}, false)
 	if err != nil {
 		return nil, nil, nil, err
@@ -147,8 +161,7 @@ func Rate(o Options) (fig6b, fig9b, fig10b *report.Table, err error) {
 	o = o.normal()
 	results, err := Sweep(len(RatePoints), o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
 		cfg.Rate = RatePoints[p]
-		cfg.Slots = o.Slots
-		cfg.Fault = o.Fault
+		o.apply(cfg)
 	}, false)
 	if err != nil {
 		return nil, nil, nil, err
@@ -173,8 +186,7 @@ func Fig7(o Options) (*report.Table, error) {
 	o = o.normal()
 	results, err := Sweep(len(TimeoutPoints), o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
 		cfg.Timeout = TimeoutPoints[p]
-		cfg.Slots = o.Slots
-		cfg.Fault = o.Fault
+		o.apply(cfg)
 	}, false)
 	if err != nil {
 		return nil, err
@@ -193,8 +205,7 @@ func Fig7(o Options) (*report.Table, error) {
 func Fig8(o Options) (*report.Table, error) {
 	o = o.normal()
 	results, err := Sweep(1, o.Protocols, o.Runs, func(p int, cfg *RunConfig) {
-		cfg.Slots = o.Slots
-		cfg.Fault = o.Fault
+		o.apply(cfg)
 	}, true)
 	if err != nil {
 		return nil, err

@@ -139,6 +139,19 @@ type RunConfig struct {
 	// the default; the sparse-traffic benchmarks and the skipping
 	// equivalence tests opt in.
 	EventTraffic bool
+	// Workers > 0 enables the engine's deterministic parallel tile
+	// resolver (sim.Config.Parallel) with that many pool workers.
+	// Results are byte-identical for every worker count — including
+	// Workers=1 — but differ from the serial (Workers=0) trajectory,
+	// because interior-tile capture draws move off the engine stream
+	// onto per-tile streams. The paper sweeps keep the serial default;
+	// the scaling benchmarks and the parallel differential suite opt in.
+	// Mutually exclusive with Reference.
+	Workers int
+	// TileSize is the tile side length for the parallel resolver; 0
+	// lets the engine default to 4× the radio radius. Ignored when
+	// Workers is 0.
+	TileSize float64
 }
 
 // Defaults returns the paper's Table 2 configuration for the given
@@ -234,7 +247,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 		Lifecycle:    sim.CombineLifecycleObservers(cfg.Lifecycles...),
 		Tracer:       cfg.Tracer,
 		Reference:    cfg.Reference,
+		Parallel:     sim.Parallel{Workers: cfg.Workers, TileSize: cfg.TileSize},
 	})
+	defer eng.Close()
 	eng.AttachMACs(factory)
 	gen := traffic.NewGenerator(tp)
 	gen.Rate = cfg.Rate

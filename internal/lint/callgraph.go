@@ -48,6 +48,12 @@ const (
 	// FactTaintedDraw: the function body draws from a *rand.Rand that is
 	// not provably a locally seeded generator (see dataflow.go).
 	FactTaintedDraw
+	// FactParamDraw: the function body draws from a *rand.Rand received
+	// as a parameter (or the receiver). Still a shared-stream draw from
+	// an observer hook's point of view, but distinguishable from
+	// FactTaintedDraw so the tile-dispatch gate can sanction functions
+	// whose caller contractually supplies a per-tile stream.
+	FactParamDraw
 	// FactEngineWrite: the function body stores through sim.Engine or
 	// sim.Env state, or calls a mutating method on one of them.
 	FactEngineWrite

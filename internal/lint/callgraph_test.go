@@ -329,3 +329,137 @@ func TestTileReportCoversSerialPath(t *testing.T) {
 		t.Errorf("summary counts %d functions, report lists %d", sum, counted)
 	}
 }
+
+// loadRealModule loads the real module once for the dispatch-gate tests.
+func loadRealModule(t *testing.T) (*Loader, []*Package) {
+	t.Helper()
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load([]string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return loader, pkgs
+}
+
+// TestTileDispatchGateOnRealModule checks the dispatch gate's positive
+// half on the real module: both default dispatch roots (the functions
+// the parallel resolver hands to pool workers) resolve, classify
+// engine-local — they mutate engine state but only through the
+// receiver, with PRNG draws routed through caller-supplied per-tile
+// streams — and the report's conjunction is safe.
+func TestTileDispatchGateOnRealModule(t *testing.T) {
+	loader, pkgs := loadRealModule(t)
+	cfg := DefaultConfig()
+	if len(cfg.TileDispatchRoots) < 2 {
+		t.Fatalf("default config has %d dispatch roots, want the resolver's two", len(cfg.TileDispatchRoots))
+	}
+	rep := NewSuite(loader, cfg).TileSafetyReport(pkgs)
+	if !rep.DispatchSafe {
+		t.Errorf("dispatch gate failed on the real module: %+v", rep.Dispatch)
+	}
+	if len(rep.Dispatch) != len(cfg.TileDispatchRoots) {
+		t.Fatalf("report has %d dispatch verdicts, want %d", len(rep.Dispatch), len(cfg.TileDispatchRoots))
+	}
+	for _, d := range rep.Dispatch {
+		if !d.Safe || d.Class != "engine-local" {
+			t.Errorf("root %s: class %q safe=%v, want engine-local and safe", d.Root, d.Class, d.Safe)
+		}
+	}
+}
+
+// TestTileDispatchGateTeeth proves the gate has teeth: pointing a
+// dispatch root at a function that demonstrably reaches shared effects
+// (the parallel merge phase, which performs channel ops through the
+// pool and draws from the seam stream) must flip the verdict to unsafe
+// with witness paths, and a renamed/missing root must fail rather than
+// silently dropping out of the gate.
+func TestTileDispatchGateTeeth(t *testing.T) {
+	loader, pkgs := loadRealModule(t)
+
+	cfg := DefaultConfig()
+	cfg.TileDispatchRoots = []string{
+		"relmac/internal/sim.Engine.resolveSlotParallel", // shared-mutating: pool channel ops
+		"relmac/internal/sim.Engine.resolveTile",         // still safe
+		"relmac/internal/sim.Engine.noSuchResolver",      // missing
+	}
+	rep := NewSuite(loader, cfg).TileSafetyReport(pkgs)
+	if rep.DispatchSafe {
+		t.Fatal("gate passed with a shared-mutating and a missing root configured")
+	}
+	if len(rep.Dispatch) != 3 {
+		t.Fatalf("report has %d dispatch verdicts, want 3", len(rep.Dispatch))
+	}
+	shared, safe, missing := rep.Dispatch[0], rep.Dispatch[1], rep.Dispatch[2]
+	if shared.Safe || shared.Class != "shared-mutating" || len(shared.Reasons) == 0 {
+		t.Errorf("resolveSlotParallel: class %q safe=%v reasons=%v, want unsafe shared-mutating with witnesses",
+			shared.Class, shared.Safe, shared.Reasons)
+	}
+	foundChan := false
+	for _, r := range shared.Reasons {
+		if strings.HasPrefix(r, "channel op:") {
+			foundChan = true
+		}
+		if strings.HasPrefix(r, "caller-supplied PRNG draw:") {
+			t.Errorf("dispatch policy must not count FactParamDraw, got reason %q", r)
+		}
+	}
+	if !foundChan {
+		t.Errorf("resolveSlotParallel reasons %v must witness the pool's channel ops", shared.Reasons)
+	}
+	if !safe.Safe || safe.Class != "engine-local" {
+		t.Errorf("resolveTile: class %q safe=%v, want engine-local and safe", safe.Class, safe.Safe)
+	}
+	if missing.Safe || missing.Class != "missing" || len(missing.Reasons) == 0 {
+		t.Errorf("missing root: class %q safe=%v reasons=%v, want unsafe missing with a reason",
+			missing.Class, missing.Safe, missing.Reasons)
+	}
+}
+
+// TestParamDrawFact checks the dataflow split underlying the dispatch
+// policy: a draw from a parameter-supplied generator produces
+// FactParamDraw (sanctioned for dispatch roots), a draw from a
+// field-held generator produces FactTaintedDraw (disqualifying), and a
+// locally constructed, explicitly seeded generator produces neither.
+func TestParamDrawFact(t *testing.T) {
+	g, pkg := loadGraphSrc(t, "pd", `// Package pd exercises PRNG draw provenance.
+package pd
+
+import "math/rand"
+
+type holder struct{ rng *rand.Rand }
+
+func fromParam(rng *rand.Rand) float64 { return rng.Float64() }
+
+func (h *holder) fromField() float64 { return h.rng.Float64() }
+
+func fromLocal() float64 {
+	rng := rand.New(rand.NewSource(1))
+	return rng.Float64()
+}
+`)
+	cases := []struct {
+		fn      string
+		param   bool
+		tainted bool
+	}{
+		{"pd.fromParam", true, false},
+		{"(pd.holder).fromField", false, true},
+		{"pd.fromLocal", false, false},
+	}
+	for _, c := range cases {
+		fn := graphFunc(t, g, pkg, c.fn)
+		if got := g.Reaches(fn, FactParamDraw, true); got != c.param {
+			t.Errorf("%s: FactParamDraw = %v, want %v", c.fn, got, c.param)
+		}
+		if got := g.Reaches(fn, FactTaintedDraw, true); got != c.tainted {
+			t.Errorf("%s: FactTaintedDraw = %v, want %v", c.fn, got, c.tainted)
+		}
+	}
+}

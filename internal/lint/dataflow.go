@@ -434,8 +434,12 @@ func (df *funcData) engineBase(e ast.Expr) string {
 	}
 }
 
-// scanRandDraw raises the tainted-draw fact for method calls that
-// consume randomness from a generator not constructed locally.
+// scanRandDraw raises a draw fact for method calls that consume
+// randomness from a generator not constructed locally: FactParamDraw
+// when the generator arrived as a parameter — the caller chose the
+// stream, and may contractually supply an independent one (the tile
+// resolver does) — FactTaintedDraw for fields and other untracked
+// sources, which alias the simulation's shared, order-sensitive stream.
 func (df *funcData) scanRandDraw(call *ast.CallExpr, fn *types.Func) {
 	sig, _ := fn.Type().(*types.Signature)
 	if sig == nil || sig.Recv() == nil || !isRandType(sig.Recv().Type()) {
@@ -447,8 +451,15 @@ func (df *funcData) scanRandDraw(call *ast.CallExpr, fn *types.Func) {
 	}
 	recv := ast.Unparen(sel.X)
 	if id, ok := recv.(*ast.Ident); ok {
-		if v, _ := df.info.Uses[id].(*types.Var); v != nil && df.cleanRand[v] {
-			return
+		if v, _ := df.info.Uses[id].(*types.Var); v != nil {
+			if df.cleanRand[v] {
+				return
+			}
+			if df.recvParam[v] {
+				df.node.Facts = append(df.node.Facts, Fact{FactParamDraw, call.Pos(),
+					"PRNG draw ." + fn.Name() + "() from a caller-supplied *rand.Rand"})
+				return
+			}
 		}
 	}
 	if isRandConstruction(df.info, recv) {
@@ -609,4 +620,3 @@ func (df *funcData) scanAlloc(n ast.Node) {
 		})
 	}
 }
-

@@ -88,6 +88,20 @@ type Config struct {
 	// seeds feed engines) but not serial (Sweep legitimately fans out
 	// workers).
 	SerialPaths []string
+	// ParallelPaths are the sanctioned concurrency gates carved out of
+	// SerialPaths: packages allowed to spawn goroutines inside the slot
+	// loop because everything dispatched through them is held to the
+	// tile-safety dispatch contract (TileDispatchRoots). Calls from
+	// serial packages into a parallel path are exempt from the simsafe
+	// escape scan; the packages themselves stay sim-path (determinism,
+	// maporder, … still apply).
+	ParallelPaths []string
+	// TileDispatchRoots are the functions the parallel resolver hands to
+	// pool workers, named like HotPathRoots ("pkg/path.Type.Method").
+	// The tile-safety report classifies their call closures and fails
+	// (DispatchSafe=false) if any is shared-mutating — the enforcement
+	// half of the ParallelPaths carve-out.
+	TileDispatchRoots []string
 	// GeomPaths are the exact import paths the floateq check guards.
 	GeomPaths []string
 	// FramesPath is the package defining the frame Type tag and NumTypes.
@@ -148,6 +162,11 @@ func DefaultConfig() *Config {
 			"relmac/internal/capture",
 			"relmac/internal/beacon",
 			"relmac/internal/mobility",
+		},
+		ParallelPaths: []string{"relmac/internal/sim/tilepar"},
+		TileDispatchRoots: []string{
+			"relmac/internal/sim.Engine.resolveTile",
+			"relmac/internal/sim.Engine.stampBusyTile",
 		},
 		GeomPaths:  []string{"relmac/internal/geom"},
 		FramesPath: "relmac/internal/frames",

@@ -32,7 +32,7 @@ var hookInterfaces = []string{"Observer", "SlotObserver", "IdleSpanObserver", "L
 
 func runPrngflow(p *Pass) {
 	for _, hook := range hookMethods(p) {
-		for _, kind := range []FactKind{FactTaintedDraw, FactGlobalRand} {
+		for _, kind := range []FactKind{FactTaintedDraw, FactParamDraw, FactGlobalRand} {
 			if p.Graph().Reaches(hook.Fn, kind, false) {
 				p.Reportf(hook.Decl.Pos(), "observer hook %s reaches a PRNG draw; hooks must be PRNG-neutral: %s",
 					shortName(hook.Fn), p.Graph().WitnessPath(hook.Fn, kind, false))

@@ -27,8 +27,17 @@ import (
 //     the report's offending paths are exactly the sites a per-tile
 //     PRNG-splitting design has to rework.
 //
-// The report is informational — it produces no findings — and is emitted
-// by `relmaclint -tilereport`.
+// Since the parallel tile resolver landed, the report also carries its
+// enforcement half: the Dispatch section classifies the call closure of
+// every function the resolver hands to pool workers
+// (Config.TileDispatchRoots). Dispatch roots must stay pure or
+// engine-local; the one relaxation is FactParamDraw — a draw from a
+// caller-supplied *rand.Rand — because the dispatcher's contract routes
+// per-tile streams through exactly those parameters. Draws from the
+// shared engine stream (FactTaintedDraw) remain disqualifying: one of
+// those inside a worker would serialize the tiles or race the stream.
+// `relmaclint -tilereport` exits nonzero when DispatchSafe is false, so
+// CI fails if shared-mutating code is ever dispatched.
 
 // TileFunc is the classification of one function.
 type TileFunc struct {
@@ -42,6 +51,19 @@ type TileFunc struct {
 	Reasons []string `json:"reasons,omitempty"`
 }
 
+// TileDispatch is the safety verdict for one configured dispatch root.
+type TileDispatch struct {
+	// Root is the configured name ("pkg/path.Type.Method").
+	Root string `json:"root"`
+	// Class is the root's classification under the dispatch policy.
+	Class string `json:"class"`
+	// Reasons carries witness paths for disqualifying effects, or the
+	// resolution failure when the root was not found.
+	Reasons []string `json:"reasons,omitempty"`
+	// Safe is true when the root is pure or engine-local.
+	Safe bool `json:"safe"`
+}
+
 // TileReport is the JSON document -tilereport emits.
 type TileReport struct {
 	// Packages are the serial-path packages covered, in path order.
@@ -50,6 +72,11 @@ type TileReport struct {
 	Summary map[string]int `json:"summary"`
 	// Funcs holds every function, sorted by package then position.
 	Funcs []TileFunc `json:"funcs"`
+	// Dispatch holds the verdict for each configured dispatch root, in
+	// configuration order; DispatchSafe is their conjunction. Both are
+	// omitted when no roots are configured.
+	Dispatch     []TileDispatch `json:"dispatch,omitempty"`
+	DispatchSafe bool           `json:"dispatch_safe"`
 }
 
 // sharedKinds are the fact kinds that make a function shared-mutating,
@@ -67,6 +94,7 @@ var sharedKinds = []struct {
 	{FactWallClock, "wall clock"},
 	{FactGlobalRand, "global PRNG"},
 	{FactTaintedDraw, "shared-stream PRNG draw"},
+	{FactParamDraw, "caller-supplied PRNG draw"},
 }
 
 // TileSafetyReport classifies every function declared in the serial-path
@@ -112,5 +140,52 @@ func (s *Suite) TileSafetyReport(pkgs []*Package) *TileReport {
 		}
 		return a.Line < b.Line
 	})
+	s.dispatchVerdicts(rep)
 	return rep
+}
+
+// dispatchVerdicts fills the report's Dispatch section: each configured
+// dispatch root's call closure (interface dispatch expanded — the
+// workers cannot choose which capture model they get) is classified
+// under the dispatch policy, which is sharedKinds minus FactParamDraw:
+// the dispatcher contractually supplies per-tile PRNG streams through
+// those parameters. An unresolvable root is unsafe — a renamed resolver
+// function must not silently drop out of the gate.
+func (s *Suite) dispatchVerdicts(rep *TileReport) {
+	if len(s.Cfg.TileDispatchRoots) == 0 {
+		rep.DispatchSafe = true
+		return
+	}
+	g := s.Graph()
+	byName := map[string]*FuncNode{}
+	for fn, node := range g.Nodes {
+		byName[normalFuncName(fn)] = node
+	}
+	rep.DispatchSafe = true
+	for _, root := range s.Cfg.TileDispatchRoots {
+		d := TileDispatch{Root: root, Class: "pure", Safe: true}
+		node := byName[root]
+		if node == nil {
+			d.Class, d.Safe = "missing", false
+			d.Reasons = []string{"dispatch root not found in the loaded packages"}
+		} else {
+			for _, sk := range sharedKinds {
+				if sk.kind == FactParamDraw {
+					continue
+				}
+				if g.Reaches(node.Fn, sk.kind, false) {
+					d.Class, d.Safe = "shared-mutating", false
+					d.Reasons = append(d.Reasons, sk.why+": "+g.WitnessPath(node.Fn, sk.kind, false))
+				}
+			}
+			if d.Safe &&
+				(g.Reaches(node.Fn, FactRecvWrite, false) || g.Reaches(node.Fn, FactEngineWrite, false)) {
+				d.Class = "engine-local"
+			}
+		}
+		if !d.Safe {
+			rep.DispatchSafe = false
+		}
+		rep.Dispatch = append(rep.Dispatch, d)
+	}
 }

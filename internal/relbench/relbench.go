@@ -29,16 +29,31 @@ import (
 	"time"
 
 	"relmac/internal/experiments"
+	"relmac/internal/topo"
+
+	mrand "math/rand"
 )
 
 // Schema identifies the BENCH.json layout; bump on incompatible change.
-// Schema 2 added the sparse-traffic engine pair (Report.Sparse).
-const Schema = 2
+// Schema 2 added the sparse-traffic engine pair (Report.Sparse); schema 3
+// added the parallel tile-resolver scaling section (Report.Parallel).
+const Schema = 3
 
 // SparseRate is the message generation rate of the sparse engine pair:
 // the lowest-λ point of the Figure 6(b) sweep (experiments.RatePoints[0]),
 // the regime where the event clock's idle-stretch skipping dominates.
 const SparseRate = 0.00025
+
+// ParallelWorkerCounts are the pool sizes the scaling section sweeps.
+var ParallelWorkerCounts = []int{1, 2, 4, 8}
+
+// MinParallelSpeedup is the absolute floor on the 1→8-worker scaling
+// ratio. Unlike the baseline-relative gates it only binds when the
+// measuring machine has at least 8 CPU cores — worker scaling is a
+// property of the hardware as much as the code, and a starved pool on a
+// small CI box says nothing about the resolver. Below 8 cores the
+// measurement is recorded and reported as advisory.
+const MinParallelSpeedup = 2.0
 
 // Profile names a measurement size. Quick keeps CI smoke runs in tens of
 // seconds; Full is for committed baselines and perf investigations.
@@ -56,13 +71,32 @@ type Profile struct {
 	// Reps is how many times each measurement repeats; the fastest rep
 	// wins (minimum wall time is the standard noise filter).
 	Reps int
+	// ParallelNodes/ParallelRadius/ParallelRate/ParallelSlots shape the
+	// parallel scaling workload: a plane dense enough that the tiling
+	// yields many interference-independent tiles (the paper's unit-square
+	// default fits in ~1 tile and cannot scale). Zero ParallelNodes
+	// disables the section.
+	ParallelNodes  int
+	ParallelRadius float64
+	ParallelRate   float64
+	ParallelSlots  int
 }
 
 // Quick is the CI smoke profile.
-var Quick = Profile{Name: "quick", EngineSlots: 120_000, SparseSlots: 240_000, ProtocolSlots: 15_000, Reps: 3}
+var Quick = Profile{Name: "quick", EngineSlots: 120_000, SparseSlots: 240_000, ProtocolSlots: 15_000, Reps: 3,
+	ParallelNodes: 2000, ParallelRadius: 0.05, ParallelRate: 0.0005, ParallelSlots: 2000}
 
 // Full is the baseline-quality profile.
-var Full = Profile{Name: "full", EngineSlots: 600_000, SparseSlots: 1_200_000, ProtocolSlots: 60_000, Reps: 3}
+var Full = Profile{Name: "full", EngineSlots: 600_000, SparseSlots: 1_200_000, ProtocolSlots: 60_000, Reps: 3,
+	ParallelNodes: 5000, ParallelRadius: 0.03, ParallelRate: 0.0005, ParallelSlots: 6000}
+
+// Large is the scaling stress profile: 100 000 stations (average degree
+// ≈ 20, ~1600 tiles at the default 4×radius side), where per-tile work
+// dominates and the resolver's worker scaling is most visible. Engine
+// and protocol sections use the quick sizes — the point of this profile
+// is the parallel section.
+var Large = Profile{Name: "large", EngineSlots: 120_000, SparseSlots: 240_000, ProtocolSlots: 15_000, Reps: 1,
+	ParallelNodes: 100_000, ParallelRadius: 0.008, ParallelRate: 0.0002, ParallelSlots: 300}
 
 // EngineSample is one measured engine configuration.
 type EngineSample struct {
@@ -88,6 +122,34 @@ type ProtocolSample struct {
 	SlotsPerSec float64 `json:"slots_per_sec"`
 }
 
+// WorkerSample is one worker count's measurement in the scaling sweep.
+type WorkerSample struct {
+	Workers     int     `json:"workers"`
+	NsPerSlot   float64 `json:"ns_per_slot"`
+	SlotsPerSec float64 `json:"slots_per_sec"`
+}
+
+// ParallelSection is the tile-resolver scaling measurement: the dense
+// multi-tile workload run serially and at each pool size. The speedups
+// are machine-dependent (they saturate at the core count), so the gate
+// on SpeedupAt8 binds only when Cores ≥ 8; everything else is recorded
+// for humans and trend dashboards.
+type ParallelSection struct {
+	// Cores is runtime.NumCPU() on the measuring machine — the context
+	// every scaling number must be read against.
+	Cores  int     `json:"cores"`
+	Nodes  int     `json:"nodes"`
+	Radius float64 `json:"radius"`
+	Slots  int     `json:"slots"`
+	Tiles  int     `json:"tiles"`
+	// Serial is the same workload on the serial resolver (Workers=0) —
+	// the overhead reference for the W=1 row.
+	Serial  EngineSample   `json:"serial"`
+	Workers []WorkerSample `json:"workers"`
+	// SpeedupAt8 is NsPerSlot(W=1) / NsPerSlot(W=8).
+	SpeedupAt8 float64 `json:"speedup_at_8"`
+}
+
 // Report is the BENCH.json document.
 type Report struct {
 	Schema    int    `json:"schema"`
@@ -98,7 +160,10 @@ type Report struct {
 	// (SparseRate, EventTraffic on) — the workload where the event
 	// clock's slot skipping pays off. Nil in reports produced before
 	// schema 2.
-	Sparse    *Engine          `json:"sparse,omitempty"`
+	Sparse *Engine `json:"sparse,omitempty"`
+	// Parallel is the tile-resolver scaling section. Nil in reports
+	// produced before schema 3 or when the profile disables it.
+	Parallel  *ParallelSection `json:"parallel,omitempty"`
 	Protocols []ProtocolSample `json:"protocols"`
 }
 
@@ -140,6 +205,14 @@ func Measure(p Profile, report func(string)) (*Report, error) {
 	}
 	out.Sparse = &Engine{Optimized: sopt, Reference: sref, Speedup: sref.NsPerSlot / sopt.NsPerSlot}
 
+	if p.ParallelNodes > 0 {
+		sec, err := measureParallel(p, say)
+		if err != nil {
+			return nil, err
+		}
+		out.Parallel = sec
+	}
+
 	for _, proto := range experiments.AllProtocols {
 		say("protocol sweep: %s, %d slots", proto, p.ProtocolSlots)
 		s, err := measureProtocol(proto, p.ProtocolSlots)
@@ -149,6 +222,77 @@ func Measure(p Profile, report func(string)) (*Report, error) {
 		out.Protocols = append(out.Protocols, s)
 	}
 	return out, nil
+}
+
+// measureParallel runs the dense multi-tile workload serially and at
+// each pool size of ParallelWorkerCounts. All rows share one
+// configuration (and therefore one topology), so the ratios isolate the
+// resolver; the parallel rows are additionally byte-identical to each
+// other by the worker-invariance contract, making the comparison
+// work-for-work exact.
+func measureParallel(p Profile, say func(string, ...any)) (*ParallelSection, error) {
+	parCfg := func(workers int) experiments.RunConfig {
+		cfg := experiments.Defaults(experiments.BMMM, 3)
+		cfg.Nodes = p.ParallelNodes
+		cfg.Radius = p.ParallelRadius
+		cfg.Rate = p.ParallelRate
+		cfg.Slots = p.ParallelSlots
+		cfg.Workers = workers
+		return cfg
+	}
+	sec := &ParallelSection{
+		Cores: runtime.NumCPU(), Nodes: p.ParallelNodes,
+		Radius: p.ParallelRadius, Slots: p.ParallelSlots,
+	}
+	// The tile count is derived from the same placement the timed runs
+	// use: the rng is seeded from the shared config so the topology here
+	// matches the one experiments.Run builds internally.
+	base := parCfg(0)
+	rng := mrand.New(mrand.NewSource(base.Seed))
+	sec.Tiles = topo.Uniform(p.ParallelNodes, p.ParallelRadius, rng).Tiling(4 * p.ParallelRadius).NumTiles()
+
+	timeCfg := func(cfg experiments.RunConfig) (EngineSample, error) {
+		var best EngineSample
+		for r := 0; r < p.Reps; r++ {
+			start := time.Now()
+			if _, err := experiments.Run(cfg); err != nil {
+				return EngineSample{}, err
+			}
+			wall := time.Since(start)
+			s := EngineSample{
+				NsPerSlot:   float64(wall.Nanoseconds()) / float64(cfg.Slots),
+				SlotsPerSec: float64(cfg.Slots) / wall.Seconds(),
+			}
+			if r == 0 || s.NsPerSlot < best.NsPerSlot {
+				best = s
+			}
+		}
+		return best, nil
+	}
+
+	say("parallel scaling: %d nodes (%d tiles), serial resolver, %d slots x%d",
+		p.ParallelNodes, sec.Tiles, p.ParallelSlots, p.Reps)
+	serial, err := timeCfg(parCfg(0))
+	if err != nil {
+		return nil, err
+	}
+	sec.Serial = serial
+	for _, w := range ParallelWorkerCounts {
+		say("parallel scaling: %d nodes, %d worker(s), %d slots x%d",
+			p.ParallelNodes, w, p.ParallelSlots, p.Reps)
+		s, err := timeCfg(parCfg(w))
+		if err != nil {
+			return nil, err
+		}
+		sec.Workers = append(sec.Workers, WorkerSample{
+			Workers: w, NsPerSlot: s.NsPerSlot, SlotsPerSec: s.SlotsPerSec,
+		})
+	}
+	first, last := sec.Workers[0], sec.Workers[len(sec.Workers)-1]
+	if last.NsPerSlot > 0 {
+		sec.SpeedupAt8 = first.NsPerSlot / last.NsPerSlot
+	}
+	return sec, nil
 }
 
 // measureEngine times the default BMMM workload (the same configuration
@@ -251,6 +395,17 @@ func Compare(r *Report, base Baseline, tolerance float64) (regressions []string,
 			regressions = append(regressions, fmt.Sprintf(
 				"sparse optimized allocs/slot %.2f above baseline %.2f + %.0f%% = %.2f",
 				r.Sparse.Optimized.AllocsPerSlot, pin.Sparse.Optimized.AllocsPerSlot, tolerance*100, maxSparseAllocs))
+		}
+	}
+	if r.Parallel != nil {
+		if r.Parallel.Cores >= 8 && r.Parallel.SpeedupAt8 < MinParallelSpeedup {
+			regressions = append(regressions, fmt.Sprintf(
+				"parallel 1->8 worker speedup %.2fx below the %.1fx floor on a %d-core machine",
+				r.Parallel.SpeedupAt8, MinParallelSpeedup, r.Parallel.Cores))
+		} else if r.Parallel.Cores < 8 {
+			advisories = append(advisories, fmt.Sprintf(
+				"parallel 1->8 worker speedup %.2fx on %d core(s) - %.1fx floor not enforced below 8 cores",
+				r.Parallel.SpeedupAt8, r.Parallel.Cores, MinParallelSpeedup))
 		}
 	}
 	advisories = append(advisories, fmt.Sprintf(

@@ -3,11 +3,13 @@ package relbench
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
 // tiny is a test-sized profile so the suite stays fast.
-var tiny = Profile{Name: "tiny", EngineSlots: 1500, SparseSlots: 3000, ProtocolSlots: 400, Reps: 1}
+var tiny = Profile{Name: "tiny", EngineSlots: 1500, SparseSlots: 3000, ProtocolSlots: 400, Reps: 1,
+	ParallelNodes: 500, ParallelRadius: 0.08, ParallelRate: 0.0005, ParallelSlots: 300}
 
 func TestMeasureProducesCompleteReport(t *testing.T) {
 	r, err := Measure(tiny, nil)
@@ -28,6 +30,23 @@ func TestMeasureProducesCompleteReport(t *testing.T) {
 	}
 	if r.Sparse.Optimized.NsPerSlot <= 0 || r.Sparse.Reference.NsPerSlot <= 0 || r.Sparse.Speedup <= 0 {
 		t.Fatalf("bad sparse pair: %+v", r.Sparse)
+	}
+	if r.Parallel == nil {
+		t.Fatal("schema-3 report missing the parallel scaling section")
+	}
+	if r.Parallel.Cores < 1 || r.Parallel.Tiles < 4 {
+		t.Fatalf("bad parallel header (want a genuinely multi-tile workload): %+v", r.Parallel)
+	}
+	if len(r.Parallel.Workers) != len(ParallelWorkerCounts) {
+		t.Fatalf("want %d worker samples, got %d", len(ParallelWorkerCounts), len(r.Parallel.Workers))
+	}
+	for i, w := range r.Parallel.Workers {
+		if w.Workers != ParallelWorkerCounts[i] || w.NsPerSlot <= 0 || w.SlotsPerSec <= 0 {
+			t.Fatalf("bad worker sample %d: %+v", i, w)
+		}
+	}
+	if r.Parallel.Serial.NsPerSlot <= 0 || r.Parallel.SpeedupAt8 <= 0 {
+		t.Fatalf("bad parallel section: %+v", r.Parallel)
 	}
 	if len(r.Protocols) != 5 {
 		t.Fatalf("want 5 protocol samples, got %d", len(r.Protocols))
@@ -113,6 +132,42 @@ func TestCompareGates(t *testing.T) {
 	regs, advs := Compare(foreign, base, 0.25)
 	if len(regs) != 0 || len(advs) != 1 {
 		t.Fatalf("missing-profile should be advisory: regs=%v advs=%v", regs, advs)
+	}
+}
+
+// TestCompareParallelGate pins the core-aware scaling floor: poor 1→8
+// scaling fails on an 8-core machine, passes as advisory on fewer
+// cores, and good scaling passes everywhere.
+func TestCompareParallelGate(t *testing.T) {
+	pin := &Report{Schema: Schema, Profile: "quick", Engine: Engine{
+		Optimized: EngineSample{NsPerSlot: 1000, AllocsPerSlot: 1},
+		Reference: EngineSample{NsPerSlot: 2000},
+		Speedup:   2.0,
+	}}
+	base := Baseline{"quick": pin}
+	mk := func(cores int, speedup float64) *Report {
+		return &Report{Schema: Schema, Profile: "quick", Engine: pin.Engine,
+			Parallel: &ParallelSection{Cores: cores, SpeedupAt8: speedup}}
+	}
+
+	if regs, _ := Compare(mk(8, 1.3), base, 0.25); len(regs) != 1 {
+		t.Fatalf("8-core machine with %.1fx scaling must fail the floor: %v", 1.3, regs)
+	}
+	regs, advs := Compare(mk(2, 1.3), base, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("2-core machine must not fail the scaling floor: %v", regs)
+	}
+	found := false
+	for _, a := range advs {
+		if strings.Contains(a, "floor not enforced") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("few-core scaling must surface as an advisory: %v", advs)
+	}
+	if regs, _ := Compare(mk(16, 3.1), base, 0.25); len(regs) != 0 {
+		t.Fatalf("good scaling flagged: %v", regs)
 	}
 }
 

@@ -1,0 +1,247 @@
+package sim
+
+// The deterministic parallel tile resolver (Config.Parallel).
+//
+// The plane is partitioned into square tiles at least 2×radius on a side
+// (topo.Tiling), so a transmission's radius-disc overlaps at most a 2×2
+// tile block and non-adjacent tiles cannot interact within a slot. The
+// two O(active × degree) per-slot passes — carrier-sense stamping and
+// interference resolution — fan out over the tiles on a bounded worker
+// pool (internal/sim/tilepar); everything else (MAC ticks, arrivals,
+// transmission starts, deliveries) stays on the single engine goroutine,
+// drawing from the engine PRNG in exactly the serial order.
+//
+// Why any worker count produces byte-identical output:
+//
+//   - Ownership: tile worker t touches only state owned by the stations
+//     of tile t — their sigTx/sigRx scratch, their busy stamps, and the
+//     txCorrupt[row][ri] cells of their own receiver indices. Distinct
+//     workers write distinct memory; the pool's channel handoffs order
+//     those writes before the engine reads them.
+//   - PRNG routing: capture draws for interior stations come from a
+//     per-tile stream, splitmix64-derived from (Config.Seed, tileID) —
+//     the stateless keyed-stream trick internal/fault uses for link
+//     hashing — and consumed in the tile's fixed collection order. Seam
+//     stations (radius-disc crossing a tile boundary) are resolved
+//     serially after the pool barrier, in tile-index order then
+//     collection order, from a dedicated seam stream. No draw order
+//     anywhere depends on which worker ran which tile when.
+//   - Merge: cross-tile effects — the slot collision flag, the seam
+//     resolutions — are folded in fixed tile-index order after the
+//     barrier; observer/ledger callbacks all fire from the engine
+//     goroutine afterwards.
+//
+// The trajectory differs from serial mode (capture draws move off the
+// engine stream), but is a statistically equivalent sample of the same
+// process: the drift gates in internal/experiments hold parallel runs to
+// the paper's closed forms exactly as they hold serial ones.
+
+import (
+	"math/rand"
+
+	"relmac/internal/sim/tilepar"
+	"relmac/internal/topo"
+)
+
+// seamStream is the stream key reserved for the seam set's generator;
+// tile streams use their tile index, which can never collide with it.
+const seamStream = ^uint64(0)
+
+// mix64 is the splitmix64 finalizer — the same stateless hash
+// internal/fault uses to derive per-link randomness from (seed, key).
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// streamSeed derives the seed of one keyed PRNG stream from the engine
+// seed. Mixing both operands keeps streams decorrelated across both
+// axes (nearby seeds, nearby tile IDs).
+func streamSeed(seed int64, stream uint64) int64 {
+	return int64(mix64(uint64(seed) ^ mix64(stream)))
+}
+
+// parState is the engine's parallel-mode state: the tile partition, the
+// worker pool, the keyed PRNG streams, and per-tile scratch. Scratch and
+// streams are indexed by tile ID and persist across topology swaps —
+// retile only grows them, so stream identity is stable for a given
+// (seed, tileID) pair.
+type parState struct {
+	seed     int64
+	tileSize float64
+	tiling   *topo.Tiling
+	pool     *tilepar.Pool
+
+	tileRng []*rand.Rand
+	seamRng *rand.Rand
+
+	// resolveFn / busyFn are the dispatch closures, built once so the
+	// per-slot pool.Run calls allocate nothing.
+	resolveFn func(int)
+	busyFn    func(int)
+
+	// Per-tile scratch, disjoint by construction: worker t touches only
+	// index t.
+	touched     [][]int32 // interior stations with ≥1 signal, collection order
+	seamTouched [][]int32 // seam stations with ≥1 signal, collection order
+	dists       [][]float64
+	collided    []bool
+}
+
+// initParallel builds the parallel-mode state for a new engine.
+func (e *Engine) initParallel(cfg Config) {
+	size := cfg.Parallel.TileSize
+	if size <= 0 {
+		size = 4 * cfg.Topo.Radius()
+	}
+	p := &parState{
+		seed:     cfg.Seed,
+		tileSize: size,
+		pool:     tilepar.NewPool(cfg.Parallel.Workers),
+		seamRng:  rand.New(rand.NewSource(streamSeed(cfg.Seed, seamStream))),
+	}
+	p.resolveFn = func(t int) { e.resolveTile(t) }
+	p.busyFn = func(t int) { e.stampBusyTile(t) }
+	e.par = p
+	p.retile(cfg.Topo)
+}
+
+// retile installs the partition for a (new) topology, growing the
+// per-tile streams and scratch as needed. Existing tile streams keep
+// their state: the rebuild sequence is data-driven, so reproducibility
+// is unaffected.
+func (p *parState) retile(tp *topo.Topology) {
+	p.tiling = tp.Tiling(p.tileSize)
+	n := p.tiling.NumTiles()
+	for t := len(p.tileRng); t < n; t++ {
+		p.tileRng = append(p.tileRng, rand.New(rand.NewSource(streamSeed(p.seed, uint64(t)))))
+	}
+	for t := len(p.touched); t < n; t++ {
+		p.touched = append(p.touched, nil)
+		p.seamTouched = append(p.seamTouched, nil)
+		p.dists = append(p.dists, nil)
+		p.collided = append(p.collided, false)
+	}
+}
+
+// computeBusyParallel is computeBusy fanned out over the tiles: each
+// worker stamps only the stations its tile owns.
+func (e *Engine) computeBusyParallel() {
+	if e.txN == 0 {
+		return
+	}
+	e.par.pool.Run(e.par.tiling.NumTiles(), e.par.busyFn)
+}
+
+// stampBusyTile stamps the current slot onto the tile's stations that
+// neighbor an ongoing transmitter. Rows are culled by the sender's
+// radius-disc against the tile box — valid regardless of topology
+// generation, because computeBusy reads neighbors from the current
+// topology.
+func (e *Engine) stampBusyTile(t int) {
+	now := e.now
+	tl := e.par.tiling
+	radius := e.topo.Radius()
+	for ti := 0; ti < e.txN; ti++ {
+		if e.txStart[ti] >= now || e.txEnd[ti] < now {
+			continue
+		}
+		sender := int(e.txSender[ti])
+		if !tl.DiscTouches(t, e.topo.Pos(sender), radius) {
+			continue
+		}
+		for _, j := range e.topo.Neighbors(sender) {
+			if tl.TileOf(j) != t {
+				continue
+			}
+			if e.busyStamp[j] != now {
+				e.prevBusy[j] = e.busyStamp[j]
+				e.busyStamp[j] = now
+			}
+		}
+	}
+}
+
+// resolveSlotParallel is the parallel counterpart of resolveSlot: the
+// pool collects signals and resolves interior stations tile by tile,
+// then the engine goroutine merges the per-tile collision flags and
+// resolves the seam set, both in fixed tile-index order.
+func (e *Engine) resolveSlotParallel() {
+	p := e.par
+	if e.txN == 0 {
+		e.slotCollided = false
+		return
+	}
+	nt := p.tiling.NumTiles()
+	p.pool.Run(nt, p.resolveFn)
+	collided := false
+	for t := 0; t < nt; t++ {
+		if p.collided[t] {
+			collided = true
+		}
+	}
+	for t := 0; t < nt; t++ {
+		seam := p.seamTouched[t]
+		for _, j := range seam {
+			if e.resolveStation(int(j), p.seamRng, &e.dists) {
+				collided = true
+			}
+		}
+		p.seamTouched[t] = seam[:0]
+	}
+	e.slotCollided = collided
+}
+
+// resolveTile collects this slot's signals for every station the tile
+// owns and resolves the interior ones from the tile's stream, in
+// collection order. Seam stations are only collected — the serial merge
+// resolves them. Runs on a pool worker; everything it touches is
+// engine-local and tile-owned (see the file comment), which the
+// relmaclint tile-safety report's dispatch section enforces.
+func (e *Engine) resolveTile(t int) {
+	now := e.now
+	p := e.par
+	tl := p.tiling
+	radius := e.topo.Radius()
+	interior := p.touched[t][:0]
+	seam := p.seamTouched[t][:0]
+	for ti := 0; ti < e.txN; ti++ {
+		if e.txStart[ti] > now || e.txEnd[ti] < now {
+			continue
+		}
+		// Cull rows whose disc misses the tile box. Only sound while the
+		// receiver set was captured under the current topology: after a
+		// swap the stale receivers may lie anywhere, so the row is
+		// scanned in full.
+		if e.txTopoGen[ti] == e.topoGen &&
+			!tl.DiscTouches(t, e.topo.Pos(int(e.txSender[ti])), radius) {
+			continue
+		}
+		for ri, j := range e.txRecv[ti] {
+			if tl.TileOf(j) != t {
+				continue
+			}
+			if len(e.sigTx[j]) == 0 {
+				if tl.Seam(j) {
+					seam = append(seam, int32(j))
+				} else {
+					interior = append(interior, int32(j))
+				}
+			}
+			e.sigTx[j] = append(e.sigTx[j], int32(ti))
+			e.sigRx[j] = append(e.sigRx[j], int32(ri))
+		}
+	}
+	rng := p.tileRng[t]
+	collided := false
+	for _, j := range interior {
+		if e.resolveStation(int(j), rng, &p.dists[t]) {
+			collided = true
+		}
+	}
+	p.touched[t] = interior[:0]
+	p.seamTouched[t] = seam
+	p.collided[t] = collided
+}

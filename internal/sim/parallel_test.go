@@ -1,0 +1,156 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"relmac/internal/capture"
+	"relmac/internal/frames"
+	"relmac/internal/geom"
+	"relmac/internal/topo"
+)
+
+// seamTopo places a collision scenario across tile borders. With the
+// anchors pinning a 0.6×0.6 extent and tile side 0.2, the interior
+// borders sit at x,y ∈ {0.2, 0.4}:
+//
+//   - station 4 (transmitter T1) straddles the tile corner at
+//     (0.2, 0.2): its radius-disc crosses both interior borders, so it
+//     is a seam station, and its receivers span three tiles;
+//   - station 5 (transmitter T2) sits in tile (1,0) with its disc
+//     crossing the x=0.4 border — the second seam transmitter, hidden
+//     from T1 (distance ≈ 0.17 > radius 0.1);
+//   - receivers 1, 2, 3 sit in tiles (0,0), (1,0), (0,1); receiver 2
+//     hears both transmitters and must lose the colliding frames, the
+//     other two hear only T1 and must decode.
+func seamTopo() *topo.Topology {
+	return topo.FromPoints([]geom.Point{
+		geom.Pt(0, 0),       // 0: anchor, out of everyone's range
+		geom.Pt(0.12, 0.12), // 1: receiver, tile (0,0), hears T1 only
+		geom.Pt(0.25, 0.15), // 2: receiver, tile (1,0), hears T1 and T2
+		geom.Pt(0.15, 0.25), // 3: receiver, tile (0,1), hears T1 only
+		geom.Pt(0.19, 0.19), // 4: T1, seam station at the tile corner
+		geom.Pt(0.32, 0.08), // 5: T2, seam station at the x=0.4 border
+		geom.Pt(0.6, 0.6),   // 6: anchor
+	}, 0.1)
+}
+
+// seamRun drives the seam scenario on one engine configuration and
+// returns each station's receive log.
+func seamRun(t *testing.T, cfg Config) [][]string {
+	t.Helper()
+	e, macs := engineWithScripts(t, seamTopo(), cfg)
+	defer e.Close()
+	macs[4].at(0, ctl(frames.Data, 4, -1))
+	macs[5].at(0, ctl(frames.Data, 5, -1))
+	e.Run(6, nil)
+	logs := make([][]string, len(macs))
+	for i, m := range macs {
+		logs[i] = m.received
+	}
+	return logs
+}
+
+// TestSeamCollisionMatchesSerial is the seam-correctness gate: a
+// transmitter straddling a tile corner with receivers in three tiles,
+// colliding with a second border-straddling transmitter, must produce
+// identical delivery and corruption marks under the serial resolver and
+// the parallel resolver at every worker count. The default capture
+// model (capture.None) makes the outcome PRNG-independent — collisions
+// always destroy — so the comparison is exact, not just statistical.
+func TestSeamCollisionMatchesSerial(t *testing.T) {
+	// Sanity: the geometry must actually exercise the seam machinery.
+	tl := seamTopo().Tiling(0.2)
+	if !tl.Seam(4) || !tl.Seam(5) {
+		t.Fatal("transmitters 4 and 5 must be seam stations")
+	}
+	tiles := map[int]bool{tl.TileOf(1): true, tl.TileOf(2): true, tl.TileOf(3): true}
+	if len(tiles) != 3 {
+		t.Fatalf("receivers span %d tiles, want 3", len(tiles))
+	}
+
+	serial := seamRun(t, Config{Seed: 7})
+	for _, workers := range []int{1, 2, 4} {
+		par := seamRun(t, Config{Seed: 7, Parallel: Parallel{Workers: workers, TileSize: 0.2}})
+		if fmt.Sprint(par) != fmt.Sprint(serial) {
+			t.Errorf("workers=%d: receive logs diverged from serial:\n  parallel: %v\n  serial:   %v",
+				workers, par, serial)
+		}
+	}
+	// And the scenario itself behaves as designed.
+	if len(serial[1]) != 1 || len(serial[3]) != 1 {
+		t.Errorf("receivers 1 and 3 hear only T1 and must decode: got %v / %v", serial[1], serial[3])
+	}
+	if len(serial[2]) != 0 {
+		t.Errorf("receiver 2 hears both transmitters; the collision must destroy both: got %v", serial[2])
+	}
+}
+
+// TestParallelWorkerInvarianceWithCapture pins worker-count invariance
+// where the PRNG routing matters: under a capture model that consumes
+// the draw, interior and seam stations pull from per-tile and seam
+// streams, and any worker count must replay the identical outcome.
+func TestParallelWorkerInvarianceWithCapture(t *testing.T) {
+	run := func(workers int) [][]string {
+		return seamRun(t, Config{
+			Seed:     7,
+			Capture:  capture.ZorziRao{},
+			Parallel: Parallel{Workers: workers, TileSize: 0.2},
+		})
+	}
+	base := run(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := run(workers); fmt.Sprint(got) != fmt.Sprint(base) {
+			t.Errorf("workers=%d diverged from workers=1:\n  got:  %v\n  base: %v", workers, got, base)
+		}
+	}
+}
+
+// TestParallelReferenceMutuallyExclusive pins the configuration guard:
+// the reference path is serial by definition.
+func TestParallelReferenceMutuallyExclusive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with Parallel and Reference must panic")
+		}
+	}()
+	New(Config{Topo: seamTopo(), Reference: true, Parallel: Parallel{Workers: 2}})
+}
+
+// TestCloseWithoutParallelIsNoop checks Close is safe on serial engines
+// (the experiments runner defers it unconditionally).
+func TestCloseWithoutParallelIsNoop(t *testing.T) {
+	e := New(Config{Topo: seamTopo()})
+	e.Close()
+	e.Close()
+}
+
+// TestParallelSurvivesRetile checks SetTopology rebuilds the tiling:
+// after swapping to a different topology mid-run, the parallel engine
+// keeps matching a serial engine driven through the identical swap.
+func TestParallelSurvivesRetile(t *testing.T) {
+	swap := lineTopo(7, 0.08, 0.1)
+	run := func(cfg Config) [][]string {
+		e, macs := engineWithScripts(t, seamTopo(), cfg)
+		defer e.Close()
+		macs[4].at(0, ctl(frames.Data, 4, -1))
+		macs[5].at(0, ctl(frames.Data, 5, -1))
+		e.Run(6, nil)
+		e.SetTopology(swap)
+		macs[0].at(6, ctl(frames.RTS, 0, 1))
+		macs[2].at(6, ctl(frames.RTS, 2, 1))
+		e.Run(3, nil)
+		logs := make([][]string, len(macs))
+		for i, m := range macs {
+			logs[i] = m.received
+		}
+		return logs
+	}
+	serial := run(Config{Seed: 7})
+	for _, workers := range []int{1, 4} {
+		par := run(Config{Seed: 7, Parallel: Parallel{Workers: workers, TileSize: 0.2}})
+		if fmt.Sprint(par) != fmt.Sprint(serial) {
+			t.Errorf("workers=%d after retile diverged:\n  parallel: %v\n  serial:   %v", workers, par, serial)
+		}
+	}
+}

@@ -283,6 +283,22 @@ type crashNoter interface {
 	NoteCrashDrop()
 }
 
+// Parallel configures the deterministic tile resolver: slot resolution
+// partitioned over interference-independent tiles and fanned out on a
+// bounded worker pool (see parallel.go). The zero value keeps the engine
+// fully serial.
+type Parallel struct {
+	// Workers is the worker-pool size; 0 disables parallel mode. Output
+	// is schedule-independent: any Workers ≥ 1 produces byte-identical
+	// runs (Workers=1 still routes through the pool and the per-tile
+	// PRNG streams, so the differential suite can pin the invariance).
+	Workers int
+	// TileSize is the tile side in position units. 0 picks 4×radius;
+	// values below 2×radius are raised to it, the minimum at which
+	// non-adjacent tiles cannot interact within a slot.
+	TileSize float64
+}
+
 // Config assembles an Engine.
 type Config struct {
 	// Topo is the station layout; required.
@@ -330,8 +346,15 @@ type Config struct {
 	// storage recycling and the cached per-neighbor distances — and runs
 	// the original naive resolution path. Output is bit-identical either
 	// way; the reference path exists so the equivalence tests can prove
-	// it and cmd/relbench can measure the gap.
+	// it and cmd/relbench can measure the gap. Mutually exclusive with
+	// Parallel.Workers > 0.
 	Reference bool
+	// Parallel enables the deterministic tile resolver. Engines built
+	// with Workers > 0 own a worker pool and must be Closed after their
+	// last Run/Step. Parallel mode is worker-count invariant but follows
+	// a different (equally valid) trajectory than serial mode: capture
+	// draws come from per-tile streams instead of the engine stream.
+	Parallel Parallel
 }
 
 // Engine is the slotted channel simulator.
@@ -363,7 +386,7 @@ type Engine struct {
 	txFrame   []*frames.Frame
 	txSender  []int32
 	txStart   []Slot
-	txEnd     []Slot // inclusive last slot
+	txEnd     []Slot   // inclusive last slot
 	txRecv    [][]int  // in-range stations at start, sorted
 	txCorrupt [][]bool // parallel to txRecv
 	// txNDists are the sender→receiver distances parallel to txRecv,
@@ -447,6 +470,10 @@ type Engine struct {
 
 	// reference pins the naive path (Config.Reference).
 	reference bool
+
+	// par holds the tile resolver's state (Config.Parallel); nil in
+	// serial mode. See parallel.go.
+	par *parState
 }
 
 // New builds an Engine from the configuration. MACs must be attached with
@@ -517,7 +544,23 @@ func New(cfg Config) *Engine {
 		e.sleptAt[i] = -1
 		e.nextWake[i] = -1
 	}
+	if cfg.Parallel.Workers > 0 {
+		if cfg.Reference {
+			panic("sim: Config.Parallel and Config.Reference are mutually exclusive")
+		}
+		e.initParallel(cfg)
+	}
 	return e
+}
+
+// Close releases the worker pool behind parallel mode. It is a no-op for
+// serial engines, idempotent, and must follow the engine's last
+// Run/Step.
+func (e *Engine) Close() {
+	if e.par != nil && e.par.pool != nil {
+		e.par.pool.Close()
+		e.par.pool = nil
+	}
 }
 
 // SetMAC installs the MAC state machine for station i.
@@ -563,6 +606,9 @@ func (e *Engine) SetTopology(tp *topo.Topology) {
 	}
 	e.topo = tp
 	e.topoGen++
+	if e.par != nil {
+		e.par.retile(tp)
+	}
 }
 
 // Timing returns the frame airtimes in use.
@@ -663,7 +709,11 @@ func (e *Engine) step(src Source) {
 	// 0.5. Physical carrier sense, computed once for the slot: a station
 	// senses the medium busy when a transmission that began in an earlier
 	// slot is still in the air within range.
-	e.computeBusy()
+	if e.par != nil {
+		e.computeBusyParallel()
+	} else {
+		e.computeBusy()
+	}
 
 	// 1. Traffic arrivals.
 	if src != nil {
@@ -750,7 +800,11 @@ func (e *Engine) step(src Source) {
 	}
 
 	// 3. Per-slot interference resolution.
-	e.resolveSlot()
+	if e.par != nil {
+		e.resolveSlotParallel()
+	} else {
+		e.resolveSlot()
+	}
 
 	// 3.5. Channel-state callback: the airing set is complete (new
 	// transmissions registered, none completed yet) and the collision
@@ -893,47 +947,64 @@ func (e *Engine) resolveSlot() {
 		}
 	}
 	for _, j := range touchedNodes {
-		sigs := e.sigTx[j]
-		switch {
-		case e.txBusyUntil[j] >= now:
-			// Half duplex: a transmitting station decodes nothing. Two or
-			// more arrivals still count as a physical signal overlap for
-			// the slot observer's collision flag.
-			if len(sigs) > 1 {
-				e.slotCollided = true
-			}
-			for k, ti := range sigs {
-				e.txCorrupt[ti][e.sigRx[j][k]] = true
-			}
-		case len(sigs) == 1:
-			// Clean slot for this frame at this receiver.
-		default:
+		if e.resolveStation(j, e.rng, &e.dists) {
 			e.slotCollided = true
-			// Collision: ask the capture model which signal survives.
-			// Distances come from the table captured at transmission
-			// start; Dist is symmetric (math.Hypot of the same deltas),
-			// so txNDists[ti][ri] is bit-for-bit the e.topo.Dist(j,
-			// sender) the naive path computes. The live query remains for
-			// transmissions launched under a topology since swapped out.
-			e.dists = e.dists[:0]
-			for k, ti := range sigs {
-				if nd := e.txNDists[ti]; nd != nil && e.txTopoGen[ti] == e.topoGen {
-					e.dists = append(e.dists, nd[e.sigRx[j][k]])
-				} else {
-					e.dists = append(e.dists, e.topo.Dist(j, int(e.txSender[ti])))
-				}
-			}
-			win := e.capture.Resolve(e.dists, e.rng.Float64())
-			for k, ti := range sigs {
-				if k != win {
-					e.txCorrupt[ti][e.sigRx[j][k]] = true
-				}
-			}
 		}
-		e.sigTx[j] = e.sigTx[j][:0]
-		e.sigRx[j] = e.sigRx[j][:0]
 	}
 	e.touched = touchedNodes[:0]
+}
+
+// resolveStation resolves the signal set collected for station j this
+// slot, marking corruption in the tx table and clearing the station's
+// signal scratch. The capture draw, when one is needed, comes from the
+// supplied generator — the engine stream on the serial path, a per-tile
+// or seam stream under the parallel resolver — into the supplied
+// distance scratch. Returns whether ≥2 signals overlapped (the slot
+// observer's collision flag).
+func (e *Engine) resolveStation(j int, rng *rand.Rand, dists *[]float64) bool {
+	now := e.now
+	sigs := e.sigTx[j]
+	collided := false
+	switch {
+	case e.txBusyUntil[j] >= now:
+		// Half duplex: a transmitting station decodes nothing. Two or
+		// more arrivals still count as a physical signal overlap for
+		// the slot observer's collision flag.
+		if len(sigs) > 1 {
+			collided = true
+		}
+		for k, ti := range sigs {
+			e.txCorrupt[ti][e.sigRx[j][k]] = true
+		}
+	case len(sigs) == 1:
+		// Clean slot for this frame at this receiver.
+	default:
+		collided = true
+		// Collision: ask the capture model which signal survives.
+		// Distances come from the table captured at transmission
+		// start; Dist is symmetric (math.Hypot of the same deltas),
+		// so txNDists[ti][ri] is bit-for-bit the e.topo.Dist(j,
+		// sender) the naive path computes. The live query remains for
+		// transmissions launched under a topology since swapped out.
+		d := (*dists)[:0]
+		for k, ti := range sigs {
+			if nd := e.txNDists[ti]; nd != nil && e.txTopoGen[ti] == e.topoGen {
+				d = append(d, nd[e.sigRx[j][k]])
+			} else {
+				d = append(d, e.topo.Dist(j, int(e.txSender[ti])))
+			}
+		}
+		*dists = d
+		win := e.capture.Resolve(d, rng.Float64())
+		for k, ti := range sigs {
+			if k != win {
+				e.txCorrupt[ti][e.sigRx[j][k]] = true
+			}
+		}
+	}
+	e.sigTx[j] = sigs[:0]
+	e.sigRx[j] = e.sigRx[j][:0]
+	return collided
 }
 
 // emitSlot hands the slot observer the channel state of the current

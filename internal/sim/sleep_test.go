@@ -37,7 +37,7 @@ func (m *sleepyMAC) Quiescent(after Slot) bool {
 	}
 	return m.quiet
 }
-func (m *sleepyMAC) Wake(idleRun int)     { m.wakes = append(m.wakes, idleRun) }
+func (m *sleepyMAC) Wake(idleRun int)       { m.wakes = append(m.wakes, idleRun) }
 func (m *sleepyMAC) WakeExtend(skipped int) { m.extends = append(m.extends, skipped) }
 
 // oneShot releases a single request at a fixed slot.

@@ -1,0 +1,103 @@
+// Package tilepar is the bounded worker pool behind the engine's
+// deterministic parallel tile resolver — and the single sanctioned
+// concurrency gate on the serial sim path (lint.Config.ParallelPaths
+// allowlists exactly this package for the simsafe check).
+//
+// Determinism does not live here: the pool makes no ordering promises
+// beyond "every task index in [0,n) runs exactly once per Run, and all
+// of them happen-before Run returns". Schedule independence is the
+// dispatcher's contract — the engine only hands the pool work that is
+// pure or engine-local per tile (enforced by the relmaclint tile-safety
+// report's dispatch section), with every PRNG draw routed to per-tile
+// streams, so any interleaving of workers produces byte-identical
+// simulation state.
+//
+// The workers are persistent goroutines parked on a channel; a Run costs
+// two channel sweeps and one atomic fetch-add per task, and allocates
+// nothing, so per-slot dispatch stays cheap enough for microsecond-scale
+// slots. Close releases the goroutines; engines with Parallel.Workers>0
+// own a pool and must be Closed after their last step.
+package tilepar
+
+import (
+	"sync/atomic"
+)
+
+// Pool is a fixed set of persistent worker goroutines executing indexed
+// task batches. The zero value is not usable; use NewPool. Run and Close
+// must be called from a single owner goroutine.
+type Pool struct {
+	workers int
+	start   chan struct{}
+	done    chan struct{}
+	next    atomic.Int64
+	n       int
+	fn      func(int)
+	closed  bool
+}
+
+// NewPool starts a pool of the given size (minimum 1).
+func NewPool(workers int) *Pool {
+	if workers < 1 {
+		workers = 1
+	}
+	p := &Pool{
+		workers: workers,
+		start:   make(chan struct{}, workers),
+		done:    make(chan struct{}, workers),
+	}
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the pool size.
+func (p *Pool) Workers() int { return p.workers }
+
+// Run executes fn(i) exactly once for every i in [0,n), distributing
+// indices across the workers via an atomic counter, and returns after
+// all n calls complete. The channel handoffs order everything the
+// workers wrote before the caller reads it. fn must not call Run.
+func (p *Pool) Run(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	p.n, p.fn = n, fn
+	p.next.Store(0)
+	for w := 0; w < p.workers; w++ {
+		p.start <- struct{}{}
+	}
+	// Each start token is answered by exactly one done token, so after
+	// p.workers receives no worker still holds a reference to fn.
+	for w := 0; w < p.workers; w++ {
+		<-p.done
+	}
+	p.fn = nil
+}
+
+// Close shuts the workers down. The pool must not be used afterwards.
+// Safe to call more than once (from the owner goroutine). The start
+// channel field itself is never rewritten — workers range over it
+// concurrently — so idempotency hangs off a flag instead.
+func (p *Pool) Close() {
+	if !p.closed {
+		p.closed = true
+		close(p.start)
+	}
+}
+
+// worker drains task indices until the batch is exhausted, once per
+// start token, and exits when the pool closes.
+func (p *Pool) worker() {
+	for range p.start {
+		for {
+			i := int(p.next.Add(1)) - 1
+			if i >= p.n {
+				break
+			}
+			p.fn(i)
+		}
+		p.done <- struct{}{}
+	}
+}

@@ -1,0 +1,64 @@
+package tilepar
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestRunCoversEveryIndexExactlyOnce is the pool's core contract: each
+// index in [0, n) is handed to exactly one worker invocation, for n
+// below, equal to and far above the worker count, across reuses of the
+// same pool.
+func TestRunCoversEveryIndexExactlyOnce(t *testing.T) {
+	p := NewPool(4)
+	defer p.Close()
+	for _, n := range []int{0, 1, 3, 4, 97} {
+		counts := make([]atomic.Int32, n)
+		p.Run(n, func(i int) { counts[i].Add(1) })
+		for i := range counts {
+			if got := counts[i].Load(); got != 1 {
+				t.Errorf("n=%d: index %d ran %d times, want exactly once", n, i, got)
+			}
+		}
+	}
+}
+
+// TestRunReturnsAfterAllWork checks the completion barrier: by the time
+// Run returns, every fn call has happened (no straggler workers still
+// mutating).
+func TestRunReturnsAfterAllWork(t *testing.T) {
+	p := NewPool(3)
+	defer p.Close()
+	var sum atomic.Int64
+	for round := 0; round < 50; round++ {
+		sum.Store(0)
+		p.Run(10, func(i int) { sum.Add(int64(i)) })
+		if got := sum.Load(); got != 45 {
+			t.Fatalf("round %d: sum = %d immediately after Run, want 45", round, got)
+		}
+	}
+}
+
+// TestMinimumOneWorker checks the clamp: zero or negative worker counts
+// still yield a functioning single-worker pool.
+func TestMinimumOneWorker(t *testing.T) {
+	for _, w := range []int{0, -3} {
+		p := NewPool(w)
+		ran := make([]atomic.Int32, 5)
+		p.Run(5, func(i int) { ran[i].Add(1) })
+		for i := range ran {
+			if ran[i].Load() != 1 {
+				t.Errorf("workers=%d: index %d not run exactly once", w, i)
+			}
+		}
+		p.Close()
+	}
+}
+
+// TestCloseIsIdempotent checks double-Close neither panics nor leaks.
+func TestCloseIsIdempotent(t *testing.T) {
+	p := NewPool(2)
+	p.Run(4, func(int) {})
+	p.Close()
+	p.Close()
+}

@@ -1,0 +1,115 @@
+package topo
+
+import "relmac/internal/geom"
+
+// Tiling partitions the plane into an axis-aligned grid of square tiles
+// for the engine's deterministic parallel slot resolver. The partition
+// rests on one geometric fact: with the tile side at least 2×radius,
+// a transmission's radius-disc overlaps at most a 2×2 block of tiles,
+// and two tiles that do not share an edge or corner cannot both hear the
+// same transmission — they are interference-independent within a slot.
+//
+// Every station belongs to exactly one tile (row-major index order).
+// Stations whose radius-disc crosses an interior tile boundary are the
+// seam set: their signal neighborhoods span tiles, so the resolver
+// handles them serially, in fixed tile-index order, after the per-tile
+// workers finish. Interior stations — the overwhelming majority when
+// tiles are a few radii wide — resolve inside their own tile worker.
+//
+// A Tiling is immutable once built; all methods are safe for concurrent
+// readers.
+type Tiling struct {
+	size       float64
+	minX, minY float64
+	cols, rows int
+	tileOf     []int32
+	seam       []bool
+	tiles      [][]int32
+	numSeam    int
+}
+
+// Tiling builds the tile partition with the given tile side. A side
+// below 2×radius is raised to it — the minimum at which the 2×2
+// disc-overlap bound (and with it the seam classification) holds. The
+// grid extent comes from the actual position bounds, like the neighbor
+// grid's.
+func (t *Topology) Tiling(size float64) *Tiling {
+	if min := 2 * t.radius; size < min {
+		size = min
+	}
+	n := len(t.pos)
+	tl := &Tiling{size: size, cols: 1, rows: 1, tileOf: make([]int32, n), seam: make([]bool, n)}
+	if n == 0 {
+		tl.tiles = [][]int32{nil}
+		return tl
+	}
+	minX, minY, maxX, maxY := t.bounds()
+	tl.minX, tl.minY = minX, minY
+	tl.size, tl.cols, tl.rows = gridDims(maxX-minX, maxY-minY, size, n)
+	size = tl.size
+	cols, rows := tl.cols, tl.rows
+	tl.tiles = make([][]int32, cols*rows)
+	for i, p := range t.pos {
+		cx := int((p.X - minX) / size)
+		cy := int((p.Y - minY) / size)
+		if cx >= cols {
+			cx = cols - 1
+		}
+		if cy >= rows {
+			cy = rows - 1
+		}
+		if cx < 0 {
+			cx = 0
+		}
+		if cy < 0 {
+			cy = 0
+		}
+		tile := cy*cols + cx
+		tl.tileOf[i] = int32(tile)
+		tl.tiles[tile] = append(tl.tiles[tile], int32(i))
+		// Seam test: the station's radius-disc crosses an interior tile
+		// boundary. Outer grid edges don't count — there is no tile on
+		// the other side to interfere with.
+		ox := p.X - minX - float64(cx)*size
+		oy := p.Y - minY - float64(cy)*size
+		if (ox < t.radius && cx > 0) || (size-ox < t.radius && cx < cols-1) ||
+			(oy < t.radius && cy > 0) || (size-oy < t.radius && cy < rows-1) {
+			tl.seam[i] = true
+			tl.numSeam++
+		}
+	}
+	return tl
+}
+
+// NumTiles returns the tile count (cols × rows).
+func (tl *Tiling) NumTiles() int { return tl.cols * tl.rows }
+
+// Dims returns the grid dimensions in tiles.
+func (tl *Tiling) Dims() (cols, rows int) { return tl.cols, tl.rows }
+
+// Size returns the tile side actually used (≥ the requested side).
+func (tl *Tiling) Size() float64 { return tl.size }
+
+// TileOf returns the row-major tile index owning station i.
+func (tl *Tiling) TileOf(i int) int { return int(tl.tileOf[i]) }
+
+// Seam reports whether station i is in the seam set.
+func (tl *Tiling) Seam(i int) bool { return tl.seam[i] }
+
+// NumSeam returns the seam-set size.
+func (tl *Tiling) NumSeam() int { return tl.numSeam }
+
+// Stations returns the station IDs owned by the tile, in increasing ID
+// order. The slice is shared; callers must not modify it.
+func (tl *Tiling) Stations(tile int) []int32 { return tl.tiles[tile] }
+
+// DiscTouches reports whether a disc of radius r around p overlaps the
+// tile's bounding box — the per-transmission cull the tile workers use
+// to skip rows that cannot reach any station they own.
+func (tl *Tiling) DiscTouches(tile int, p geom.Point, r float64) bool {
+	tx, ty := tile%tl.cols, tile/tl.cols
+	loX := tl.minX + float64(tx)*tl.size
+	loY := tl.minY + float64(ty)*tl.size
+	return p.X+r >= loX && p.X-r <= loX+tl.size &&
+		p.Y+r >= loY && p.Y-r <= loY+tl.size
+}

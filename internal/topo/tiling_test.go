@@ -1,0 +1,104 @@
+package topo
+
+import (
+	"testing"
+
+	"relmac/internal/geom"
+)
+
+// tilingPoints is a hand-placed layout on a 0.6×0.6 extent: corner
+// anchors pin the bounds, one station sits well inside a tile, and two
+// sit within a radius of interior borders.
+func tilingPoints() []geom.Point {
+	return []geom.Point{
+		geom.Pt(0, 0),       // 0: anchor, tile (0,0), seam-free (outer corner)
+		geom.Pt(0.6, 0.6),   // 1: anchor, far corner
+		geom.Pt(0.10, 0.10), // 2: interior of tile (0,0)
+		geom.Pt(0.19, 0.05), // 3: tile (0,0), disc crosses border x=0.2
+		geom.Pt(0.25, 0.25), // 4: tile (1,1), disc crosses borders x=0.2 and y=0.2
+	}
+}
+
+func TestTilingAssignmentAndSeam(t *testing.T) {
+	tp := FromPoints(tilingPoints(), 0.08)
+	tl := tp.Tiling(0.2)
+	if got := tl.Size(); got != 0.2 {
+		t.Fatalf("Size() = %v, want the requested 0.2", got)
+	}
+	cols, rows := tl.Dims()
+	// int(0.6/0.2) is 2 in float64 arithmetic, so the extent spans 3
+	// columns, with the far corner clamped into the last cell.
+	if cols != 3 || rows != 3 {
+		t.Fatalf("Dims() = %d×%d, want 3×3 over the 0.6 extent", cols, rows)
+	}
+	wantTile := map[int][2]int{
+		0: {0, 0}, 1: {2, 2}, 2: {0, 0}, 3: {0, 0}, 4: {1, 1},
+	}
+	for i, cell := range wantTile {
+		if got, want := tl.TileOf(i), cell[1]*cols+cell[0]; got != want {
+			t.Errorf("TileOf(%d) = %d, want %d (cell %v)", i, got, want, cell)
+		}
+	}
+	wantSeam := map[int]bool{0: false, 1: false, 2: false, 3: true, 4: true}
+	for i, want := range wantSeam {
+		if got := tl.Seam(i); got != want {
+			t.Errorf("Seam(%d) = %v, want %v", i, got, want)
+		}
+	}
+	if tl.NumSeam() != 2 {
+		t.Errorf("NumSeam() = %d, want 2", tl.NumSeam())
+	}
+	// Station lists partition the IDs and agree with TileOf.
+	seen := 0
+	for tile := 0; tile < tl.NumTiles(); tile++ {
+		for _, id := range tl.Stations(tile) {
+			if tl.TileOf(int(id)) != tile {
+				t.Errorf("station %d listed in tile %d but TileOf says %d", id, tile, tl.TileOf(int(id)))
+			}
+			seen++
+		}
+	}
+	if seen != tp.N() {
+		t.Errorf("tiles list %d stations, want all %d", seen, tp.N())
+	}
+}
+
+func TestTilingRaisesUndersizedTiles(t *testing.T) {
+	tp := FromPoints(tilingPoints(), 0.15)
+	tl := tp.Tiling(0.1) // below 2×radius
+	if got, want := tl.Size(), 0.3; got != want {
+		t.Errorf("Size() = %v, want the 2×radius floor %v", got, want)
+	}
+}
+
+func TestTilingEmptyTopology(t *testing.T) {
+	tl := FromPoints(nil, 0.1).Tiling(0.2)
+	if tl.NumTiles() != 1 {
+		t.Errorf("empty topology: NumTiles() = %d, want the single empty tile", tl.NumTiles())
+	}
+	if got := tl.Stations(0); len(got) != 0 {
+		t.Errorf("empty topology: Stations(0) = %v, want empty", got)
+	}
+}
+
+func TestTilingDiscTouches(t *testing.T) {
+	tp := FromPoints(tilingPoints(), 0.08)
+	tl := tp.Tiling(0.2)
+	cols, _ := tl.Dims()
+	// A disc at the center of tile (0,0) with a small radius touches only
+	// that tile; pushed against the border it also touches (1,0).
+	center := geom.Pt(0.1, 0.1)
+	if !tl.DiscTouches(0, center, 0.05) {
+		t.Error("disc inside tile (0,0) must touch it")
+	}
+	if tl.DiscTouches(1, center, 0.05) {
+		t.Error("disc well inside tile (0,0) must not touch (1,0)")
+	}
+	edge := geom.Pt(0.19, 0.1)
+	if !tl.DiscTouches(1, edge, 0.05) {
+		t.Error("disc crossing the x=0.2 border must touch tile (1,0)")
+	}
+	if tl.DiscTouches(2*cols+0, edge, 0.05) {
+		t.Error("disc near (0,0)/(1,0) must not touch row-2 tiles")
+	}
+}

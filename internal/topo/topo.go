@@ -8,7 +8,6 @@ package topo
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 
 	"relmac/internal/geom"
@@ -21,9 +20,12 @@ type Topology struct {
 	pos       []geom.Point
 	neighbors [][]int
 	// neighborDist[i] holds the distances to neighbors[i], index-parallel.
-	// Precomputed with the same geom.Point.Dist the live Dist method uses,
-	// so the cached values are bit-identical to on-demand queries — the
+	// Computed with the same geom.Point.Dist the live Dist method uses, so
+	// the cached values are bit-identical to on-demand queries — the
 	// engine's collision resolver depends on that to stay reproducible.
+	// Materialized lazily, one station at a time on first NeighborDists
+	// call, so a 1M-station topology does not pay O(total-degree) float64
+	// storage up front for tables most stations never consult.
 	neighborDist [][]float64
 }
 
@@ -101,43 +103,112 @@ func clamp01(v float64) float64 {
 	return v
 }
 
+// bounds returns the axis-aligned bounding box of the station positions.
+// Must not be called on an empty topology.
+func (t *Topology) bounds() (minX, minY, maxX, maxY float64) {
+	minX, minY = t.pos[0].X, t.pos[0].Y
+	maxX, maxY = minX, minY
+	for _, p := range t.pos[1:] {
+		if p.X < minX {
+			minX = p.X
+		}
+		if p.X > maxX {
+			maxX = p.X
+		}
+		if p.Y < minY {
+			minY = p.Y
+		}
+		if p.Y > maxY {
+			maxY = p.Y
+		}
+	}
+	return minX, minY, maxX, maxY
+}
+
+// gridDims picks a uniform-grid cell size and dimensions covering the
+// given extent. The cell starts at the requested size and doubles until
+// the cell count is linear in n, so pathological extent/size ratios
+// (one far outlier with a tiny radius) cannot blow up memory; oversized
+// cells only cost extra candidate scans, never correctness.
+func gridDims(extX, extY, size float64, n int) (float64, int, int) {
+	for {
+		cols := int(extX/size) + 1
+		rows := int(extY/size) + 1
+		if float64(cols)*float64(rows) <= float64(4*n+64) {
+			return size, cols, rows
+		}
+		size *= 2
+	}
+}
+
 // buildNeighbors computes the neighbor lists with a uniform-grid spatial
 // index so construction stays near-linear in the node count even for the
-// dense sweeps of Figure 6(a).
+// dense sweeps of Figure 6(a). The grid extent comes from the actual
+// position bounds — not an assumed unit square — so topologies that
+// drift outside [0,1] (mobility) or live on another scale entirely index
+// correctly; the buckets are dense counting-sort slices rather than a
+// map, which kills the per-node map/append churn at 100k+ stations.
 func (t *Topology) buildNeighbors() {
 	n := len(t.pos)
 	t.neighbors = make([][]int, n)
+	t.neighborDist = make([][]float64, n)
 	if n == 0 {
 		return
 	}
-	cell := t.radius
-	cols := int(math.Ceil(1/cell)) + 1
-	bucket := func(p geom.Point) (int, int) {
-		cx := int(p.X / cell)
-		cy := int(p.Y / cell)
+	minX, minY, maxX, maxY := t.bounds()
+	cell, cols, rows := gridDims(maxX-minX, maxY-minY, t.radius, n)
+	cellOf := func(p geom.Point) int {
+		cx := int((p.X - minX) / cell)
+		cy := int((p.Y - minY) / cell)
+		// Floating-point guards only: positions are inside the bounds by
+		// construction, but the division can land exactly on an edge.
+		if cx >= cols {
+			cx = cols - 1
+		}
+		if cy >= rows {
+			cy = rows - 1
+		}
 		if cx < 0 {
 			cx = 0
 		}
 		if cy < 0 {
 			cy = 0
 		}
-		return cx, cy
+		return cy*cols + cx
 	}
-	grid := make(map[[2]int][]int, n)
+	// Dense cell buckets: per-cell counts, prefix sums, then a fill pass.
+	// items[start[c]:start[c+1]] holds the stations of cell c in ID order.
+	start := make([]int32, cols*rows+1)
+	for _, p := range t.pos {
+		start[cellOf(p)+1]++
+	}
+	for c := 1; c <= cols*rows; c++ {
+		start[c] += start[c-1]
+	}
+	items := make([]int32, n)
+	cursor := append([]int32(nil), start[:cols*rows]...)
 	for i, p := range t.pos {
-		cx, cy := bucket(p)
-		grid[[2]int{cx, cy}] = append(grid[[2]int{cx, cy}], i)
+		c := cellOf(p)
+		items[cursor[c]] = int32(i)
+		cursor[c]++
 	}
 	r2 := t.radius * t.radius
 	for i, p := range t.pos {
-		cx, cy := bucket(p)
-		for dx := -1; dx <= 1; dx++ {
-			for dy := -1; dy <= 1; dy++ {
-				nx, ny := cx+dx, cy+dy
-				if nx < 0 || ny < 0 || nx > cols || ny > cols {
+		c := cellOf(p)
+		cx, cy := c%cols, c/cols
+		for dy := -1; dy <= 1; dy++ {
+			ny := cy + dy
+			if ny < 0 || ny >= rows {
+				continue
+			}
+			for dx := -1; dx <= 1; dx++ {
+				nx := cx + dx
+				if nx < 0 || nx >= cols {
 					continue
 				}
-				for _, j := range grid[[2]int{nx, ny}] {
+				nc := ny*cols + nx
+				for _, j32 := range items[start[nc]:start[nc+1]] {
+					j := int(j32)
 					if j != i && p.Dist2(t.pos[j]) <= r2 {
 						t.neighbors[i] = append(t.neighbors[i], j)
 					}
@@ -145,17 +216,6 @@ func (t *Topology) buildNeighbors() {
 			}
 		}
 		sortInts(t.neighbors[i])
-	}
-	t.neighborDist = make([][]float64, n)
-	for i, nb := range t.neighbors {
-		if len(nb) == 0 {
-			continue
-		}
-		d := make([]float64, len(nb))
-		for k, j := range nb {
-			d[k] = t.pos[i].Dist(t.pos[j])
-		}
-		t.neighborDist[i] = d
 	}
 }
 
@@ -182,7 +242,27 @@ func (t *Topology) Neighbors(i int) []int { return t.neighbors[i] }
 // neighbors, index-parallel to Neighbors(i). The values are bit-identical
 // to calling Dist for each pair. The returned slice is shared; callers
 // must not modify it.
-func (t *Topology) NeighborDists(i int) []float64 { return t.neighborDist[i] }
+//
+// The table is materialized lazily on first call per station. The first
+// call for a given station is not safe to race with other calls on the
+// same Topology; the engine only queries it from its serial
+// transmission-start phase, never from tile workers.
+func (t *Topology) NeighborDists(i int) []float64 {
+	if d := t.neighborDist[i]; d != nil {
+		return d
+	}
+	nb := t.neighbors[i]
+	if len(nb) == 0 {
+		return nil
+	}
+	// Amortized: built once per station, owned by the topology thereafter.
+	t.neighborDist[i] = make([]float64, len(nb))
+	d := t.neighborDist[i]
+	for k, j := range nb {
+		d[k] = t.pos[i].Dist(t.pos[j])
+	}
+	return d
+}
 
 // Degree returns the number of neighbors of station i.
 func (t *Topology) Degree(i int) int { return len(t.neighbors[i]) }
