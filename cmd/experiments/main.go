@@ -23,13 +23,17 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"relmac/internal/experiments"
 	"relmac/internal/fault"
 	"relmac/internal/obs"
+	"relmac/internal/prof"
 	"relmac/internal/report"
+	"relmac/internal/sim"
 
 	_ "net/http/pprof"
 )
@@ -49,6 +53,7 @@ func main() {
 	locNoise := flag.Float64("locnoise", 0, "fault: stddev of the Gaussian location error LAMM sees")
 	listen := flag.String("listen", "", "serve live sweep metrics on this address (e.g. :9090): /metrics is Prometheus text (airtime ledger + sweep progress/ETA gauges), /snapshot is JSON")
 	workers := flag.Int("workers", 0, "parallel tile-resolver workers per run (0 = serial engine); trajectories differ from serial but are worker-count independent")
+	phases := flag.Bool("phases", false, "attach the engine phase profiler to every sweep run and print the pooled per-protocol phase breakdown after the sweeps (byte-identical results either way)")
 	flightDir := flag.String("flight-dir", "", fmt.Sprintf("drift experiment: dump per-message lifecycle span traces (JSONL, one file per run) into this directory for any protocol whose weighted drift exceeds experiments.DriftTolerance (%.2f)", experiments.DriftTolerance))
 	flag.Parse()
 
@@ -109,6 +114,26 @@ func main() {
 			}
 		}()
 		fmt.Fprintf(os.Stderr, "metrics listening on http://%s\n", ln.Addr())
+	}
+
+	// One fresh PhaseTimer per sweep run (engines must not share a
+	// timer); prof.Aggregate pools them per protocol at the end. The
+	// Instrument hook chains after the -listen one and runs on sweep
+	// worker goroutines, hence the mutex.
+	var phaseMu sync.Mutex
+	phaseTimers := make(map[string][]*prof.PhaseTimer)
+	if *phases {
+		prev := experiments.Instrument
+		experiments.Instrument = func(cfg *experiments.RunConfig) {
+			if prev != nil {
+				prev(cfg)
+			}
+			pt := prof.New()
+			cfg.Profiler = pt
+			phaseMu.Lock()
+			phaseTimers[string(cfg.Protocol)] = append(phaseTimers[string(cfg.Protocol)], pt)
+			phaseMu.Unlock()
+		}
 	}
 
 	o := experiments.Options{Runs: *runs, Slots: *slots, Fault: faultCfg, FlightDir: *flightDir, Workers: *workers}
@@ -246,4 +271,39 @@ func main() {
 		fmt.Printf("(threshold sweep: %v)\n", time.Since(start).Round(time.Second))
 		emit(tb, "fig8.csv")
 	}
+	if *phases {
+		phaseMu.Lock()
+		tb := phaseTable(phaseTimers)
+		phaseMu.Unlock()
+		fmt.Println()
+		tb.Render(os.Stdout)
+	}
+}
+
+// phaseTable pools every sweep run's phase timer per protocol and
+// renders the wall-time decomposition with the measured serial fraction
+// and its Amdahl ceiling.
+func phaseTable(timers map[string][]*prof.PhaseTimer) *report.Table {
+	cols := []string{"protocol", "runs", "wall ms"}
+	for i := 0; i < sim.NumPhases; i++ {
+		cols = append(cols, sim.Phase(i).String())
+	}
+	cols = append(cols, "serial frac", "amdahl limit")
+	tb := report.NewTable("engine phases: fraction of wall time per phase (all sweep runs pooled)", cols...)
+	names := make([]string, 0, len(timers))
+	for name := range timers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := prof.Aggregate(timers[name])
+		row := []any{name, r.Runs, float64(r.WallNs) / 1e6}
+		for _, s := range r.Phases {
+			row = append(row, s.Frac)
+		}
+		row = append(row, r.SerialFraction, r.AmdahlLimit)
+		tb.AddRow(row...)
+	}
+	tb.Note = "conservation holds by construction: phase fractions sum to 1"
+	return tb
 }

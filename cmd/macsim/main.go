@@ -39,6 +39,7 @@ import (
 	"relmac/internal/mac"
 	"relmac/internal/metrics"
 	"relmac/internal/obs"
+	"relmac/internal/prof"
 	"relmac/internal/report"
 	"relmac/internal/sim"
 	"relmac/internal/topo"
@@ -73,6 +74,7 @@ func main() {
 	flightFile := flag.String("flight", "", "write per-message lifecycle span trees of a single run to this file: *.jsonl for span JSONL, anything else for Chrome trace-event JSON (open at ui.perfetto.dev)")
 	flightStats := flag.Bool("flightstats", false, "attach a flight recorder per run and feed stage-decomposed latency histograms (queueing/contention/control/data airtime) into the stat registry; combine with -stats to print them")
 	auditFile := flag.String("audit", "", "run the protocol conformance auditor on every run and write the findings report to this file (\"-\" for stdout); exits 1 if any violation is found")
+	phases := flag.Bool("phases", false, "attach the engine phase profiler and print the phase breakdown after the run table; with -workers also prints worker utilization and the tile shape (byte-identical results either way)")
 	listen := flag.String("listen", "", "serve live metrics on this address (e.g. :9090): /metrics is Prometheus text, /snapshot is JSON; implies the airtime ledger")
 	hold := flag.Bool("hold", false, "with -listen: keep serving after the runs complete until interrupted")
 	flag.Parse()
@@ -202,11 +204,22 @@ func main() {
 	// Audit outcomes pool across runs per protocol; each run gets a fresh
 	// auditor because message IDs restart with the engine.
 	audits := make(map[string]*auditResult)
+	// One phase timer per protocol, shared across its sequential runs so
+	// the breakdown pools (prof.PhaseTimer is built for exactly this).
+	phaseTimers := make(map[string]*prof.PhaseTimer)
 	for _, p := range protos {
 		var agg metrics.SummaryStats
 		var st *obs.Stats
 		if reg != nil {
 			st = obs.NewStats(reg, string(p))
+		}
+		var pt *prof.PhaseTimer
+		if *phases {
+			pt = prof.New()
+			phaseTimers[string(p)] = pt
+			if msrv != nil {
+				msrv.AddProfile(string(p), pt.Report)
+			}
 		}
 		for r := 0; r < *runs; r++ {
 			cfg := experiments.Defaults(p, *seed+int64(r))
@@ -220,6 +233,9 @@ func main() {
 			cfg.Fault = faultCfg
 			cfg.Workers = *workers
 			cfg.TileSize = *tileSize
+			if pt != nil {
+				cfg.Profiler = pt
+			}
 			if st != nil {
 				cfg.Observers = append(cfg.Observers, st)
 			}
@@ -287,6 +303,10 @@ func main() {
 			if reg != nil && res.Fault != nil {
 				res.Fault.FeedRegistry(reg, string(p)+".fault")
 			}
+			if pt != nil && reg != nil {
+				tiles, seam, occ := pt.TileShape()
+				obs.FeedTiling(reg, string(p), tiles, seam, occ)
+			}
 			if dm != nil {
 				driftMu.Lock()
 				if acc := driftAccums[string(p)]; acc != nil {
@@ -332,6 +352,14 @@ func main() {
 			fmt.Sprintf("%.3f", agg.MeanDeliveredFraction.Mean()))
 	}
 	tb.Render(os.Stdout)
+	if *phases {
+		fmt.Println()
+		phaseTable(protos, phaseTimers).Render(os.Stdout)
+		if *workers > 0 {
+			fmt.Println()
+			workerTable(protos, phaseTimers).Render(os.Stdout)
+		}
+	}
 	if *stats {
 		fmt.Println()
 		if _, err := reg.WriteTo(os.Stdout); err != nil {
@@ -373,6 +401,61 @@ func main() {
 		fmt.Fprintln(os.Stderr, "metrics: holding (-hold); Ctrl-C to exit")
 		select {}
 	}
+}
+
+// phaseTable renders the phase breakdown: one row per protocol, one
+// column per engine phase, each cell the fraction of that protocol's
+// pooled wall time (all runs share one timer). The trailing columns
+// give the measured serial fraction and its Amdahl ceiling.
+func phaseTable(protos []experiments.Protocol, timers map[string]*prof.PhaseTimer) *report.Table {
+	cols := []string{"protocol", "wall ms"}
+	for i := 0; i < sim.NumPhases; i++ {
+		cols = append(cols, sim.Phase(i).String())
+	}
+	cols = append(cols, "serial frac", "amdahl limit")
+	tb := report.NewTable("engine phases: fraction of wall time per phase (all runs pooled)", cols...)
+	for _, p := range protos {
+		pt := timers[string(p)]
+		if pt == nil {
+			continue
+		}
+		r := pt.Report()
+		row := []any{string(p), float64(r.WallNs) / 1e6}
+		for _, s := range r.Phases {
+			row = append(row, s.Frac)
+		}
+		row = append(row, r.SerialFraction, r.AmdahlLimit)
+		tb.AddRow(row...)
+	}
+	tb.Note = "conservation holds by construction: phase fractions sum to 1"
+	return tb
+}
+
+// workerTable renders the pool telemetry of a -workers run: per-worker
+// task counts and busy/parked utilization, plus the tile shape behind
+// the load balance (count, seam size, occupancy imbalance).
+func workerTable(protos []experiments.Protocol, timers map[string]*prof.PhaseTimer) *report.Table {
+	tb := report.NewTable("parallel runtime: per-worker utilization and tile shape (all runs pooled)",
+		"protocol", "worker", "tasks", "busy ms", "parked ms", "utilization")
+	for _, p := range protos {
+		pt := timers[string(p)]
+		if pt == nil {
+			continue
+		}
+		r := pt.Report()
+		for _, w := range r.Workers {
+			tb.AddRow(string(p), w.Worker, w.Tasks,
+				float64(w.BusyNs)/1e6, float64(w.ParkedNs)/1e6, w.Utilization)
+		}
+		if t := r.Tiles; t != nil {
+			tb.AddRow(string(p), "tiles", t.Tiles,
+				fmt.Sprintf("seam %d", t.SeamStations),
+				fmt.Sprintf("occ %d-%d", t.MinOccupancy, t.MaxOccupancy),
+				fmt.Sprintf("imbalance %.2f", t.Imbalance))
+		}
+	}
+	tb.Note = "parked time is idle waiting between pool dispatches; utilization = busy / (busy + parked)"
+	return tb
 }
 
 // auditResult pools one protocol's audit outcome across runs.

@@ -1,6 +1,7 @@
 // Command relbench is the benchmark-regression harness: it measures
 // engine slot throughput on the optimized and reference paths, per-slot
-// allocation pressure, and per-protocol sweep wall time, writes the
+// allocation pressure, per-protocol sweep wall time, and the engine
+// phase decomposition (serial fraction + Amdahl projection), writes the
 // results to BENCH.json, and compares them against the committed
 // BENCH_BASELINE.json.
 //
@@ -8,18 +9,22 @@
 //
 //	go run ./cmd/relbench [-quick|-large] [-json] [-out BENCH.json]
 //	                      [-baseline BENCH_BASELINE.json] [-tolerance 0.25]
+//	                      [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The baseline gate rests only on machine-independent quantities — the
 // reference/optimized speedup ratio and exact allocations per slot —
 // so the committed baseline is valid on any machine; absolute
-// nanoseconds are recorded as advisory context. The parallel scaling
-// section additionally enforces an absolute floor on the 1→8-worker
-// speedup, but only on machines with at least 8 CPU cores (below that
-// the scaling number reflects the hardware, not the resolver, and is
-// reported as advisory). -large switches to the 100 000-station
-// profile, sized for the tile resolver's scaling regime. Exit status is
-// 1 when a regression exceeds the tolerance band, 2 on a measurement
-// failure.
+// nanoseconds are recorded as advisory context, and a host-metadata
+// mismatch against the baseline surfaces as an advisory note. The
+// parallel scaling section additionally enforces an absolute floor on
+// the 1→8-worker speedup, but only on machines with at least 8 CPU
+// cores (below that the scaling number reflects the hardware, not the
+// resolver, and is reported as advisory). -large switches to the
+// 100 000-station profile, sized for the tile resolver's scaling
+// regime. -cpuprofile/-memprofile write pprof profiles of the
+// measurement suite itself, for digging into *why* a phase got slower
+// once the phase table says *where*. Exit status is 1 when a regression
+// exceeds the tolerance band, 2 on a measurement failure.
 //
 // To refresh the baseline after an intentional performance change, run
 // both profiles and merge the reports:
@@ -35,17 +40,27 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"relmac/internal/relbench"
 )
 
 func main() {
+	// Exit via a return code so the profile-writing defers inside run
+	// always fire; os.Exit would skip them.
+	os.Exit(run())
+}
+
+func run() int {
 	quick := flag.Bool("quick", false, "use the CI smoke profile instead of the full profile")
 	large := flag.Bool("large", false, "use the 100k-station scaling profile (parallel tile-resolver stress)")
 	jsonOut := flag.Bool("json", false, "print the report as JSON to stdout")
 	out := flag.String("out", "BENCH.json", "path to write the report (empty disables)")
 	baseline := flag.String("baseline", "BENCH_BASELINE.json", "baseline to compare against (missing file skips the gate)")
 	tolerance := flag.Float64("tolerance", 0.25, "allowed fractional slack before a regression is flagged")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the measurement suite to this file (inspect with go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile at exit to this file (inspect with go tool pprof)")
 	flag.Parse()
 
 	profile := relbench.Full
@@ -55,9 +70,43 @@ func main() {
 	if *large {
 		if *quick {
 			fmt.Fprintln(os.Stderr, "relbench: -quick and -large are mutually exclusive")
-			os.Exit(2)
+			return 2
 		}
 		profile = relbench.Large
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "relbench:", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "relbench:", err)
+			f.Close()
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+			fmt.Fprintf(os.Stderr, "relbench: wrote CPU profile to %s\n", *cpuprofile)
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "relbench:", err)
+				return
+			}
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "relbench:", err)
+			} else {
+				fmt.Fprintf(os.Stderr, "relbench: wrote heap profile to %s\n", *memprofile)
+			}
+			f.Close()
+		}()
 	}
 
 	report, err := relbench.Measure(profile, func(line string) {
@@ -65,13 +114,13 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "relbench:", err)
-		os.Exit(2)
+		return 2
 	}
 
 	if *out != "" {
 		if err := relbench.WriteReport(*out, report); err != nil {
 			fmt.Fprintln(os.Stderr, "relbench:", err)
-			os.Exit(2)
+			return 2
 		}
 	}
 	if *jsonOut {
@@ -79,7 +128,7 @@ func main() {
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(report); err != nil {
 			fmt.Fprintln(os.Stderr, "relbench:", err)
-			os.Exit(2)
+			return 2
 		}
 	} else {
 		fmt.Printf("profile %s: optimized %.0f ns/slot (%.2f allocs/slot), reference %.0f ns/slot, speedup %.2fx\n",
@@ -100,6 +149,15 @@ func main() {
 			}
 			fmt.Printf("    1->8 speedup %.2fx\n", pa.SpeedupAt8)
 		}
+		if ph := report.Phases; ph != nil && ph.Serial != nil {
+			fmt.Printf("  phases (serial run): serial fraction %.3f, Amdahl limit %.1fx, max useful workers %d\n",
+				ph.Serial.SerialFraction, ph.Serial.AmdahlLimit, ph.Serial.MaxUsefulWorkers)
+			for _, s := range ph.Serial.Phases {
+				if s.Ns > 0 {
+					fmt.Printf("    %-18s %6.1f%%\n", s.Phase, s.Frac*100)
+				}
+			}
+		}
 		for _, p := range report.Protocols {
 			fmt.Printf("  %-8s %6d slots in %8.1f ms (%.0f slots/sec)\n",
 				p.Protocol, p.Slots, p.WallMs, p.SlotsPerSec)
@@ -109,7 +167,7 @@ func main() {
 	base, err := relbench.LoadBaseline(*baseline)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "relbench:", err)
-		os.Exit(2)
+		return 2
 	}
 	regressions, advisories := relbench.Compare(report, base, *tolerance)
 	for _, a := range advisories {
@@ -119,6 +177,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "relbench: REGRESSION:", r)
 	}
 	if len(regressions) > 0 {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

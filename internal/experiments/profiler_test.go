@@ -1,0 +1,119 @@
+package experiments_test
+
+// The profiler's byte-neutrality gate: attaching a prof.PhaseTimer to a
+// run must leave every equality witness byte-identical — transcript,
+// observer event stream, summary, airtime ledger and audit report — on
+// the serial engine and at any worker count. This is the differential
+// proof behind the sim.Config.Profiler contract (and what the profpure
+// lint check enforces statically); the conservation test then pins the
+// profiler's own accounting invariant on every protocol and mode.
+
+import (
+	"testing"
+
+	"relmac/internal/experiments"
+	"relmac/internal/fault"
+	"relmac/internal/prof"
+)
+
+// withProfiler returns a mutation composing base (may be nil) with a
+// fresh phase timer attached to the run.
+func withProfiler(base func(cfg *experiments.RunConfig)) func(cfg *experiments.RunConfig) {
+	return func(cfg *experiments.RunConfig) {
+		if base != nil {
+			base(cfg)
+		}
+		cfg.Profiler = prof.New()
+	}
+}
+
+// TestProfilerByteNeutralSerial pins profiler attachment as a no-op on
+// the serial engine for all five protocols.
+func TestProfilerByteNeutralSerial(t *testing.T) {
+	for _, proto := range experiments.AllProtocols {
+		t.Run(string(proto), func(t *testing.T) {
+			bare := runFull(t, proto, false, nil)
+			profiled := runFull(t, proto, false, withProfiler(nil))
+			if len(bare.transcript) == 0 {
+				t.Fatal("run produced no traffic; the comparison is vacuous")
+			}
+			diffWitnesses(t, profiled, bare)
+		})
+	}
+}
+
+// TestProfilerByteNeutralParallel pins profiler attachment as a no-op on
+// the parallel resolver at 8 workers: arming the pool clock and the
+// per-worker telemetry must not perturb the tile streams.
+func TestProfilerByteNeutralParallel(t *testing.T) {
+	for _, proto := range experiments.AllProtocols {
+		t.Run(string(proto), func(t *testing.T) {
+			bare := runFull(t, proto, false, withWorkers(8, nil))
+			profiled := runFull(t, proto, false, withProfiler(withWorkers(8, nil)))
+			if len(bare.transcript) == 0 {
+				t.Fatal("run produced no traffic; the comparison is vacuous")
+			}
+			diffWitnesses(t, profiled, bare)
+		})
+	}
+}
+
+// TestProfilerConservation pins the accounting invariant Σ phases ≡ wall
+// for every protocol, clean and impaired, serial and parallel — no
+// engine nanosecond may be double-counted or lost, exactly (integer
+// arithmetic, no tolerance).
+func TestProfilerConservation(t *testing.T) {
+	modes := []struct {
+		name     string
+		impaired bool
+		workers  int
+	}{
+		{"clean-serial", false, 0},
+		{"clean-parallel", false, 4},
+		{"impaired-serial", true, 0},
+		{"impaired-parallel", true, 4},
+	}
+	for _, proto := range experiments.AllProtocols {
+		for _, m := range modes {
+			t.Run(string(proto)+"/"+m.name, func(t *testing.T) {
+				pt := prof.New()
+				cfg := experiments.Defaults(proto, 11)
+				cfg.Slots = 2000
+				cfg.Workers = m.workers
+				cfg.Profiler = pt
+				if m.impaired {
+					cfg.Fault = fault.Config{PER: 0.02, Crash: fault.Crash{MTTF: 1500, MTTR: 150}}
+				}
+				if _, err := experiments.Run(cfg); err != nil {
+					t.Fatal(err)
+				}
+				r := pt.Report()
+				if r.Runs != 1 || r.WallNs <= 0 {
+					t.Fatalf("empty report: runs=%d wall=%d", r.Runs, r.WallNs)
+				}
+				if !r.Conserved() {
+					sum := int64(0)
+					for _, p := range r.Phases {
+						sum += p.Ns
+					}
+					t.Fatalf("conservation violated: phases sum to %d, wall %d (%+v)", sum, r.WallNs, r.Phases)
+				}
+				if m.workers == 0 {
+					if ns := r.PhaseNs("seam-merge"); ns != 0 {
+						t.Errorf("serial run attributed %d ns to seam-merge", ns)
+					}
+					if len(r.Workers) != 0 {
+						t.Errorf("serial run reported worker telemetry: %+v", r.Workers)
+					}
+				} else {
+					if len(r.Workers) != m.workers {
+						t.Errorf("worker telemetry: got %d samples, want %d", len(r.Workers), m.workers)
+					}
+					if r.Tiles == nil || r.Tiles.Tiles < 1 {
+						t.Errorf("parallel run missing tile shape: %+v", r.Tiles)
+					}
+				}
+			})
+		}
+	}
+}

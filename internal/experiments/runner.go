@@ -152,6 +152,14 @@ type RunConfig struct {
 	// lets the engine default to 4× the radio radius. Ignored when
 	// Workers is 0.
 	TileSize float64
+	// Profiler attaches a runtime phase profiler to the engine
+	// (sim.Config.Profiler) — typically a prof.PhaseTimer. Profilers
+	// are PRNG-neutral and mutation-free by contract, so results are
+	// byte-identical with and without one. One profiler serves one
+	// engine at a time: sweeps must attach a fresh one per run (via
+	// Instrument) and pool them with prof.Aggregate. Nil keeps the
+	// engine's zero-cost path.
+	Profiler sim.Profiler
 }
 
 // Defaults returns the paper's Table 2 configuration for the given
@@ -248,6 +256,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 		Tracer:       cfg.Tracer,
 		Reference:    cfg.Reference,
 		Parallel:     sim.Parallel{Workers: cfg.Workers, TileSize: cfg.TileSize},
+		Profiler:     cfg.Profiler,
 	})
 	defer eng.Close()
 	eng.AttachMACs(factory)

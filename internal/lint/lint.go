@@ -37,6 +37,11 @@
 //     attaching the observer changes trajectories;
 //   - hookpure: hooks must not reach a sim.Engine/Env mutation (stores
 //     through engine state, or non-allowlisted Engine/Env method calls);
+//   - profpure: profiler hook implementations (sim.Profiler,
+//     sim.ParallelProfiler) must not reach a PRNG draw or an engine
+//     mutation — the profiler's byte-neutrality contract (attaching it
+//     must not change trajectories) holds exactly as long as its hooks
+//     only read clocks and accumulate counters;
 //   - maporder: map iteration in sim-path packages must not leak Go's
 //     randomized iteration order — no draws, output, unsorted result
 //     appends or float accumulation in range bodies;
@@ -146,6 +151,10 @@ func DefaultConfig() *Config {
 			// seedFor): a wall-clock read there perturbs nothing today but
 			// is exactly the class of drift the check exists to stop.
 			"relmac/internal/experiments",
+			// The phase profiler's hooks run inside the slot loop; its
+			// clock is injectable (never a static time.Now call), and
+			// profpure holds its hooks to PRNG/engine neutrality.
+			"relmac/internal/prof",
 		},
 		SerialPaths: []string{
 			"relmac/internal/sim",
@@ -162,6 +171,7 @@ func DefaultConfig() *Config {
 			"relmac/internal/capture",
 			"relmac/internal/beacon",
 			"relmac/internal/mobility",
+			"relmac/internal/prof",
 		},
 		ParallelPaths: []string{"relmac/internal/sim/tilepar"},
 		TileDispatchRoots: []string{
@@ -250,6 +260,7 @@ func Analyzers() []*Analyzer {
 		docpresentAnalyzer,
 		prngflowAnalyzer,
 		hookpureAnalyzer,
+		profpureAnalyzer,
 		maporderAnalyzer,
 		hotallocAnalyzer,
 	}

@@ -83,6 +83,8 @@ func TestFixtures(t *testing.T) {
 		{"prngflow/good", nil},
 		{"hookpure/bad", nil},
 		{"hookpure/good", nil},
+		{"profpure/bad", nil},
+		{"profpure/good", nil},
 		{"maporder/bad", func(c *Config) { c.SimPaths = []string{"fix/maporder"} }},
 		{"maporder/good", func(c *Config) { c.SimPaths = []string{"fix/maporder"} }},
 		{"hotalloc/bad", func(c *Config) { c.HotPathRoots = []string{"fix/hotalloc/bad.run"} }},
@@ -259,5 +261,85 @@ func stamp(clock func() time.Time) time.Time {
 	f := res.Findings[0]
 	if f.Check != "determinism" || !strings.Contains(f.Message, "time.Now") || f.Line != 8 {
 		t.Errorf("mutated fixture: got %s, want a determinism finding for time.Now at line 8", f)
+	}
+}
+
+// TestMutationGuardProfpure proves the profpure check has teeth: a clean
+// injectable-clock profiler lints clean, and injecting a single PRNG
+// draw into its Enter hook produces exactly one profpure finding.
+func TestMutationGuardProfpure(t *testing.T) {
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clean = `// Package proffix is a mutation-guard fixture.
+package proffix
+
+import (
+	"time"
+
+	"relmac/internal/sim"
+)
+
+type timer struct {
+	clock func() time.Time
+	last  time.Time
+	acc   [sim.NumPhases]int64
+}
+
+func (t *timer) RunStart()         { t.last = t.clock() }
+func (t *timer) Enter(p sim.Phase) { t.acc[int(p)] += t.clock().Sub(t.last).Nanoseconds() }
+func (t *timer) RunEnd()           {}
+`
+	const mutated = `// Package proffix is a mutation-guard fixture.
+package proffix
+
+import (
+	"math/rand"
+	"time"
+
+	"relmac/internal/sim"
+)
+
+type timer struct {
+	clock func() time.Time
+	last  time.Time
+	acc   [sim.NumPhases]int64
+}
+
+func (t *timer) RunStart()         { t.last = t.clock() }
+func (t *timer) Enter(p sim.Phase) { t.acc[int(p)] += int64(rand.Intn(8)) }
+func (t *timer) RunEnd()           {}
+`
+	lintSrc := func(name, src string) Result {
+		t.Helper()
+		dir := filepath.Join(t.TempDir(), name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "proffix.go"), []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		loader, err := NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg, err := loader.LoadDir(dir, "mutfix/"+name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Run(loader, []*Package{pkg}, DefaultConfig())
+	}
+
+	if res := lintSrc("clean", clean); len(res.Findings) != 0 {
+		t.Fatalf("clean profiler: findings = %v, want none", res.Findings)
+	}
+	res := lintSrc("mut", mutated)
+	if len(res.Findings) != 1 {
+		t.Fatalf("mutated profiler: findings = %v, want exactly one", res.Findings)
+	}
+	f := res.Findings[0]
+	if f.Check != "profpure" || !strings.Contains(f.Message, "PRNG draw") {
+		t.Errorf("mutated profiler: got %s, want a profpure PRNG-draw finding", f)
 	}
 }

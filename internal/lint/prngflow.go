@@ -47,6 +47,15 @@ func runPrngflow(p *Pass) {
 // embedded type declared elsewhere are checked by that package's own
 // pass, keeping every finding attributed exactly once.
 func hookMethods(p *Pass) []*FuncNode {
+	return implMethods(p, hookInterfaces)
+}
+
+// implMethods returns the implementations, declared in the pass's
+// package, of the methods of the named sim-package interfaces — the
+// shared machinery behind the hook-purity family (prngflow, hookpure,
+// profpure). Results are deduplicated (overlapping interfaces count a
+// method once) and in source order.
+func implMethods(p *Pass, ifaceNames []string) []*FuncNode {
 	g := p.Graph()
 	var simPkg *types.Package
 	for _, pkg := range g.Pkgs {
@@ -62,7 +71,7 @@ func hookMethods(p *Pass) []*FuncNode {
 		return nil
 	}
 	var ifaces []*types.Interface
-	for _, name := range hookInterfaces {
+	for _, name := range ifaceNames {
 		if tn, ok := simPkg.Scope().Lookup(name).(*types.TypeName); ok {
 			if it, ok := tn.Type().Underlying().(*types.Interface); ok {
 				ifaces = append(ifaces, it)

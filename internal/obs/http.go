@@ -8,6 +8,8 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"relmac/internal/prof"
 )
 
 // MetricsServer exposes a Registry (plus optional airtime ledgers,
@@ -39,6 +41,7 @@ type MetricsServer struct {
 	tracers  map[string]*Tracer
 	flights  map[string]*Flight
 	auditors map[string]*Auditor
+	profiles map[string]func() prof.Report
 }
 
 // NewMetricsServer builds a server over the given registry.
@@ -51,6 +54,7 @@ func NewMetricsServer(reg *Registry) *MetricsServer {
 		tracers:  make(map[string]*Tracer),
 		flights:  make(map[string]*Flight),
 		auditors: make(map[string]*Auditor),
+		profiles: make(map[string]func() prof.Report),
 	}
 }
 
@@ -204,6 +208,7 @@ func (s *MetricsServer) serveMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(w, "# TYPE %s gauge\n", pn)
 		fmt.Fprintf(w, "%s %s\n", pn, promFloat(gfns[i]()))
 	}
+	s.writeProfileMetrics(w)
 }
 
 func (s *MetricsServer) serveSnapshot(w http.ResponseWriter, r *http.Request) {
@@ -262,6 +267,9 @@ func (s *MetricsServer) serveSnapshot(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, e := range extras {
 		out[e.name] = e.fn()
+	}
+	if profiles := s.profileSnapshots(); len(profiles) > 0 {
+		out["profile"] = profiles
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

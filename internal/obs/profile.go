@@ -1,0 +1,118 @@
+package obs
+
+// Runtime-profile export: the MetricsServer surfaces prof.Report
+// snapshots as relmac_phase_* / relmac_worker_* / relmac_profile_*
+// Prometheus series and as the "profile" section of /snapshot, and
+// FeedTiling records the tile-partition shape into a Registry so -stats
+// dumps carry it alongside the protocol counters.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"relmac/internal/prof"
+)
+
+// AddProfile registers a live profile callback exported under the given
+// name: /metrics gains relmac_phase_ns{profile,phase} and
+// relmac_worker_*{profile,worker} gauge series plus scalar
+// relmac_profile_* summaries, and /snapshot gains a "profile" section
+// keyed by name. fn runs on HTTP goroutines while the simulation is
+// live, so it must be safe for concurrent use — prof.PhaseTimer.Report
+// is, by design.
+func (s *MetricsServer) AddProfile(name string, fn func() prof.Report) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.profiles[name] = fn
+}
+
+// writeProfileMetrics renders every registered profile in Prometheus
+// text format, names sorted for stable output.
+func (s *MetricsServer) writeProfileMetrics(w io.Writer) {
+	s.mu.Lock()
+	names := make([]string, 0, len(s.profiles))
+	for name := range s.profiles {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fns := make([]func() prof.Report, len(names))
+	for i, name := range names {
+		fns[i] = s.profiles[name]
+	}
+	s.mu.Unlock()
+	if len(names) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "# TYPE relmac_phase_ns gauge")
+	fmt.Fprintln(w, "# TYPE relmac_worker_tasks gauge")
+	fmt.Fprintln(w, "# TYPE relmac_worker_busy_ns gauge")
+	fmt.Fprintln(w, "# TYPE relmac_worker_parked_ns gauge")
+	fmt.Fprintln(w, "# TYPE relmac_profile_wall_ns gauge")
+	fmt.Fprintln(w, "# TYPE relmac_profile_serial_fraction gauge")
+	fmt.Fprintln(w, "# TYPE relmac_profile_tiles gauge")
+	fmt.Fprintln(w, "# TYPE relmac_profile_seam_stations gauge")
+	for i, name := range names {
+		r := fns[i]()
+		for _, p := range r.Phases {
+			fmt.Fprintf(w, "relmac_phase_ns{profile=%q,phase=%q} %d\n", name, p.Phase, p.Ns)
+		}
+		fmt.Fprintf(w, "relmac_profile_wall_ns{profile=%q} %d\n", name, r.WallNs)
+		fmt.Fprintf(w, "relmac_profile_serial_fraction{profile=%q} %s\n", name, promFloat(r.SerialFraction))
+		for _, ws := range r.Workers {
+			fmt.Fprintf(w, "relmac_worker_tasks{profile=%q,worker=\"%d\"} %d\n", name, ws.Worker, ws.Tasks)
+			fmt.Fprintf(w, "relmac_worker_busy_ns{profile=%q,worker=\"%d\"} %d\n", name, ws.Worker, ws.BusyNs)
+			fmt.Fprintf(w, "relmac_worker_parked_ns{profile=%q,worker=\"%d\"} %d\n", name, ws.Worker, ws.ParkedNs)
+		}
+		if r.Tiles != nil {
+			fmt.Fprintf(w, "relmac_profile_tiles{profile=%q} %d\n", name, r.Tiles.Tiles)
+			fmt.Fprintf(w, "relmac_profile_seam_stations{profile=%q} %d\n", name, r.Tiles.SeamStations)
+		}
+	}
+}
+
+// profileSnapshots evaluates every registered profile callback for the
+// JSON snapshot, outside the server lock.
+func (s *MetricsServer) profileSnapshots() map[string]prof.Report {
+	s.mu.Lock()
+	fns := make(map[string]func() prof.Report, len(s.profiles))
+	for name, fn := range s.profiles {
+		fns[name] = fn
+	}
+	s.mu.Unlock()
+	if len(fns) == 0 {
+		return nil
+	}
+	out := make(map[string]prof.Report, len(fns))
+	for name, fn := range fns {
+		out[name] = fn()
+	}
+	return out
+}
+
+// FeedTiling records a tile partition's shape into the registry under
+// the prefix: counters <prefix>.tiling.tiles and <prefix>.tiling.seam
+// (pooled across runs, like every registry counter) and the
+// <prefix>.tiling.occupancy histogram with one observation per tile —
+// the distribution behind the profiler's imbalance index, visible in
+// -stats dumps and /metrics without a profile callback attached.
+func FeedTiling(reg *Registry, prefix string, tiles, seam int, occupancy []int) {
+	if reg == nil || tiles == 0 {
+		return
+	}
+	reg.Counter(prefix + ".tiling.tiles").Add(int64(tiles))
+	reg.Counter(prefix + ".tiling.seam").Add(int64(seam))
+	maxOcc := 0
+	for _, c := range occupancy {
+		if c > maxOcc {
+			maxOcc = c
+		}
+	}
+	// Linear buckets sized to the observed maximum keep the histogram
+	// meaningful from 4-tile toy runs to 100k-station planes.
+	width := float64(maxOcc)/16 + 1
+	h := reg.Histogram(prefix+".tiling.occupancy", LinearBuckets(0, width, 16)...)
+	for _, c := range occupancy {
+		h.Observe(float64(c))
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"relmac/internal/experiments"
+	"relmac/internal/prof"
 	"relmac/internal/topo"
 
 	mrand "math/rand"
@@ -36,8 +37,11 @@ import (
 
 // Schema identifies the BENCH.json layout; bump on incompatible change.
 // Schema 2 added the sparse-traffic engine pair (Report.Sparse); schema 3
-// added the parallel tile-resolver scaling section (Report.Parallel).
-const Schema = 3
+// added the parallel tile-resolver scaling section (Report.Parallel);
+// schema 4 added host metadata (Report.Host) and the phase decomposition
+// section (Report.Phases) with the measured serial fraction and Amdahl
+// projection alongside the observed speedups.
+const Schema = 4
 
 // SparseRate is the message generation rate of the sparse engine pair:
 // the lowest-λ point of the Figure 6(b) sweep (experiments.RatePoints[0]),
@@ -150,12 +154,52 @@ type ParallelSection struct {
 	SpeedupAt8 float64 `json:"speedup_at_8"`
 }
 
+// Host records the measuring machine — the context every absolute
+// number must be read against. Compare warns (advisory, never failing)
+// when a report's host differs from the baseline's, since cross-host
+// absolute comparisons are meaningless.
+type Host struct {
+	Cores      int    `json:"cores"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	Go         string `json:"go"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+}
+
+// HostInfo captures the current machine's metadata.
+func HostInfo() Host {
+	return Host{
+		Cores:      runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Go:         runtime.Version(),
+		OS:         runtime.GOOS,
+		Arch:       runtime.GOARCH,
+	}
+}
+
+// PhaseSection is the schema-4 phase decomposition: the parallel scaling
+// workload run once serially and once at the largest pool size with a
+// prof.PhaseTimer attached. The serial report carries the measured
+// serial fraction and Amdahl projection that contextualize the observed
+// worker speedups; the parallel report adds per-worker utilization and
+// the tile shape. Profiled runs are separate single repetitions so the
+// timed scaling rows stay unprofiled.
+type PhaseSection struct {
+	Serial   *prof.Report `json:"serial"`
+	Parallel *prof.Report `json:"parallel,omitempty"`
+	// Workers is the pool size of the profiled parallel run.
+	Workers int `json:"workers,omitempty"`
+}
+
 // Report is the BENCH.json document.
 type Report struct {
 	Schema    int    `json:"schema"`
 	Profile   string `json:"profile"`
 	GoVersion string `json:"go"`
-	Engine    Engine `json:"engine"`
+	// Host describes the measuring machine. Zero in reports produced
+	// before schema 4.
+	Host   Host   `json:"host"`
+	Engine Engine `json:"engine"`
 	// Sparse is the engine pair under sparse event-driven traffic
 	// (SparseRate, EventTraffic on) — the workload where the event
 	// clock's slot skipping pays off. Nil in reports produced before
@@ -163,7 +207,11 @@ type Report struct {
 	Sparse *Engine `json:"sparse,omitempty"`
 	// Parallel is the tile-resolver scaling section. Nil in reports
 	// produced before schema 3 or when the profile disables it.
-	Parallel  *ParallelSection `json:"parallel,omitempty"`
+	Parallel *ParallelSection `json:"parallel,omitempty"`
+	// Phases is the engine phase decomposition with the measured serial
+	// fraction and Amdahl projection. Nil in reports produced before
+	// schema 4 or when the profile disables the parallel section.
+	Phases    *PhaseSection    `json:"phases,omitempty"`
 	Protocols []ProtocolSample `json:"protocols"`
 }
 
@@ -179,7 +227,7 @@ func Measure(p Profile, report func(string)) (*Report, error) {
 			report(fmt.Sprintf(format, args...))
 		}
 	}
-	out := &Report{Schema: Schema, Profile: p.Name, GoVersion: runtime.Version()}
+	out := &Report{Schema: Schema, Profile: p.Name, GoVersion: runtime.Version(), Host: HostInfo()}
 
 	say("engine throughput: optimized, %d slots x%d", p.EngineSlots, p.Reps)
 	opt, err := measureEngine(false, false, p.EngineSlots, p.Reps)
@@ -211,6 +259,11 @@ func Measure(p Profile, report func(string)) (*Report, error) {
 			return nil, err
 		}
 		out.Parallel = sec
+		ph, err := measurePhases(p, say)
+		if err != nil {
+			return nil, err
+		}
+		out.Phases = ph
 	}
 
 	for _, proto := range experiments.AllProtocols {
@@ -295,6 +348,44 @@ func measureParallel(p Profile, say func(string, ...any)) (*ParallelSection, err
 	return sec, nil
 }
 
+// measurePhases runs the parallel scaling workload once on the serial
+// resolver and once at the largest pool size, each with a
+// prof.PhaseTimer attached, and packages the two reports as the
+// schema-4 phase section. The serial run yields the measured serial
+// fraction (profiler attachment is byte-neutral, so it sees exactly the
+// timed workload); the parallel run adds worker utilization and the
+// tile shape. Single repetitions — phase fractions are ratios of large
+// sums and far more stable than absolute wall times.
+func measurePhases(p Profile, say func(string, ...any)) (*PhaseSection, error) {
+	run := func(workers int) (*prof.Report, error) {
+		cfg := experiments.Defaults(experiments.BMMM, 3)
+		cfg.Nodes = p.ParallelNodes
+		cfg.Radius = p.ParallelRadius
+		cfg.Rate = p.ParallelRate
+		cfg.Slots = p.ParallelSlots
+		cfg.Workers = workers
+		pt := prof.New()
+		cfg.Profiler = pt
+		if _, err := experiments.Run(cfg); err != nil {
+			return nil, err
+		}
+		r := pt.Report()
+		return &r, nil
+	}
+	say("phase decomposition: serial resolver, %d slots, profiled", p.ParallelSlots)
+	serial, err := run(0)
+	if err != nil {
+		return nil, err
+	}
+	maxW := ParallelWorkerCounts[len(ParallelWorkerCounts)-1]
+	say("phase decomposition: %d workers, %d slots, profiled", maxW, p.ParallelSlots)
+	par, err := run(maxW)
+	if err != nil {
+		return nil, err
+	}
+	return &PhaseSection{Serial: serial, Parallel: par, Workers: maxW}, nil
+}
+
 // measureEngine times the default BMMM workload (the same configuration
 // as BenchmarkEngineThroughput) and reports per-slot cost. sparse
 // switches to event-driven traffic at SparseRate — the workload where
@@ -367,6 +458,12 @@ func Compare(r *Report, base Baseline, tolerance float64) (regressions []string,
 	}
 	if pin.Schema != r.Schema {
 		return nil, []string{fmt.Sprintf("baseline schema %d != current %d; comparison skipped", pin.Schema, r.Schema)}
+	}
+	if pin.Host != (Host{}) && pin.Host != r.Host {
+		advisories = append(advisories, fmt.Sprintf(
+			"host differs from baseline (%d cores %s/%s %s vs pinned %d cores %s/%s %s) - absolute numbers are not comparable across hosts",
+			r.Host.Cores, r.Host.OS, r.Host.Arch, r.Host.Go,
+			pin.Host.Cores, pin.Host.OS, pin.Host.Arch, pin.Host.Go))
 	}
 
 	minSpeedup := pin.Engine.Speedup * (1 - tolerance)

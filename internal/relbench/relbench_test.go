@@ -48,6 +48,24 @@ func TestMeasureProducesCompleteReport(t *testing.T) {
 	if r.Parallel.Serial.NsPerSlot <= 0 || r.Parallel.SpeedupAt8 <= 0 {
 		t.Fatalf("bad parallel section: %+v", r.Parallel)
 	}
+	if r.Host.Cores < 1 || r.Host.GOMAXPROCS < 1 || r.Host.Go == "" || r.Host.OS == "" || r.Host.Arch == "" {
+		t.Fatalf("bad host metadata: %+v", r.Host)
+	}
+	if r.Phases == nil || r.Phases.Serial == nil || r.Phases.Parallel == nil {
+		t.Fatal("schema-4 report missing the phase decomposition section")
+	}
+	if !r.Phases.Serial.Conserved() || !r.Phases.Parallel.Conserved() {
+		t.Fatalf("phase conservation violated: %+v", r.Phases)
+	}
+	if s := r.Phases.Serial.SerialFraction; s <= 0 || s >= 1 {
+		t.Fatalf("serial fraction out of (0,1): %v", s)
+	}
+	if r.Phases.Workers != ParallelWorkerCounts[len(ParallelWorkerCounts)-1] {
+		t.Fatalf("profiled pool size should be the largest sweep point: %+v", r.Phases)
+	}
+	if len(r.Phases.Parallel.Workers) == 0 {
+		t.Fatalf("parallel phase report missing worker telemetry: %+v", r.Phases.Parallel)
+	}
 	if len(r.Protocols) != 5 {
 		t.Fatalf("want 5 protocol samples, got %d", len(r.Protocols))
 	}
@@ -133,6 +151,25 @@ func TestCompareGates(t *testing.T) {
 	if len(regs) != 0 || len(advs) != 1 {
 		t.Fatalf("missing-profile should be advisory: regs=%v advs=%v", regs, advs)
 	}
+
+	// A host mismatch is advisory only — absolute numbers stop being
+	// comparable, but the ratio gates still hold.
+	pin.Host = Host{Cores: 64, GOMAXPROCS: 64, Go: "go0.0", OS: "plan9", Arch: "mips"}
+	hostDiff := &Report{Schema: Schema, Profile: "quick", Engine: pin.Engine, Host: HostInfo()}
+	regs, advs = Compare(hostDiff, base, 0.25)
+	if len(regs) != 0 {
+		t.Fatalf("host mismatch must never fail the gate: %v", regs)
+	}
+	found := false
+	for _, a := range advs {
+		if strings.Contains(a, "host differs") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("host mismatch must surface as an advisory: %v", advs)
+	}
+	pin.Host = Host{}
 }
 
 // TestCompareParallelGate pins the core-aware scaling floor: poor 1→8

@@ -88,6 +88,11 @@ type parState struct {
 	seamTouched [][]int32 // seam stations with ≥1 signal, collection order
 	dists       [][]float64
 	collided    []bool
+
+	// prof is the runtime profiler's parallel extension, when the
+	// configured profiler implements it: retile re-hands it the fresh
+	// tiling so tile-shape telemetry follows topology swaps.
+	prof ParallelProfiler
 }
 
 // initParallel builds the parallel-mode state for a new engine.
@@ -104,6 +109,13 @@ func (e *Engine) initParallel(cfg Config) {
 	}
 	p.resolveFn = func(t int) { e.resolveTile(t) }
 	p.busyFn = func(t int) { e.stampBusyTile(t) }
+	if pp, ok := cfg.Profiler.(ParallelProfiler); ok && pp != nil {
+		// Arm pool telemetry before the first Run — the start-channel
+		// handoff publishes the clock to the workers — and hand the
+		// profiler the pool; retile adds the tiling below.
+		p.prof = pp
+		p.pool.SetClock(pp.PoolClock())
+	}
 	e.par = p
 	p.retile(cfg.Topo)
 }
@@ -123,6 +135,9 @@ func (p *parState) retile(tp *topo.Topology) {
 		p.seamTouched = append(p.seamTouched, nil)
 		p.dists = append(p.dists, nil)
 		p.collided = append(p.collided, false)
+	}
+	if p.prof != nil {
+		p.prof.AttachParallel(p.pool, p.tiling)
 	}
 }
 
@@ -176,6 +191,8 @@ func (e *Engine) resolveSlotParallel() {
 	}
 	nt := p.tiling.NumTiles()
 	p.pool.Run(nt, p.resolveFn)
+	// Everything below the barrier is the serial merge tail.
+	e.enter(PhaseSeamMerge)
 	collided := false
 	for t := 0; t < nt; t++ {
 		if p.collided[t] {

@@ -355,6 +355,14 @@ type Config struct {
 	// a different (equally valid) trajectory than serial mode: capture
 	// draws come from per-tile streams instead of the engine stream.
 	Parallel Parallel
+	// Profiler, when non-nil, receives phase-boundary marks from the
+	// slot loop (see profiler.go) — the runtime profiling feed behind
+	// internal/prof. Profilers observe wall time only: they are
+	// PRNG-neutral and mutation-free (profpure-checked), so output is
+	// byte-identical with and without one attached. Nil keeps every
+	// mark site a single comparison. A profiler additionally
+	// implementing ParallelProfiler arms per-worker pool telemetry.
+	Profiler Profiler
 }
 
 // Engine is the slotted channel simulator.
@@ -471,6 +479,10 @@ type Engine struct {
 	// reference pins the naive path (Config.Reference).
 	reference bool
 
+	// prof receives phase-boundary marks (Config.Profiler); nil-checked
+	// at every mark site via enter().
+	prof Profiler
+
 	// par holds the tile resolver's state (Config.Parallel); nil in
 	// serial mode. See parallel.go.
 	par *parState
@@ -528,6 +540,7 @@ func New(cfg Config) *Engine {
 		awakeDirty:  true,
 		crashSched:  cs,
 		reference:   cfg.Reference,
+		prof:        cfg.Profiler,
 		// Idle-skip needs every crash transition of a sleeping station
 		// to be a wake obligation: a crashed station's MAC is not ticked
 		// while down, so its channel history freezes — a gap the
@@ -630,19 +643,35 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // stepping the skipped slots one by one (slot observers see the span
 // via IdleSpanObserver or a per-slot replay).
 func (e *Engine) Run(slots int, src Source) {
+	if e.prof != nil {
+		e.prof.RunStart()
+	}
 	target := e.now + Slot(slots)
 	es, _ := src.(EventSource)
 	for e.now < target {
 		if next := e.skipTarget(src, es, target); next > e.now {
+			e.enter(PhaseIdleSkip)
 			e.skipTo(next)
+			e.enter(PhaseUntracked)
 			continue
 		}
 		e.step(src)
 	}
+	if e.prof != nil {
+		e.prof.RunEnd()
+	}
 }
 
 // Step advances the simulation by one slot without external arrivals.
-func (e *Engine) Step() { e.step(nil) }
+func (e *Engine) Step() {
+	if e.prof != nil {
+		e.prof.RunStart()
+	}
+	e.step(nil)
+	if e.prof != nil {
+		e.prof.RunEnd()
+	}
+}
 
 // skipTarget returns the next slot at which anything can happen, or
 // e.now when the current slot must be simulated.
@@ -709,6 +738,7 @@ func (e *Engine) step(src Source) {
 	// 0.5. Physical carrier sense, computed once for the slot: a station
 	// senses the medium busy when a transmission that began in an earlier
 	// slot is still in the air within range.
+	e.enter(PhaseBusyStamp)
 	if e.par != nil {
 		e.computeBusyParallel()
 	} else {
@@ -716,6 +746,7 @@ func (e *Engine) step(src Source) {
 	}
 
 	// 1. Traffic arrivals.
+	e.enter(PhaseArrivals)
 	if src != nil {
 		for _, req := range src.Arrivals(now, e.rng) {
 			m := e.macs[req.Src]
@@ -735,6 +766,7 @@ func (e *Engine) step(src Source) {
 	// filtered — in station-ID order, so the surviving ticks — and with
 	// them every PRNG draw — happen in exactly the order the naive loop
 	// produces.
+	e.enter(PhaseMacTick)
 	if e.awakeDirty {
 		e.awakeDirty = false
 		e.awake = e.awake[:0]
@@ -799,7 +831,9 @@ func (e *Engine) step(src Source) {
 		e.startTx(i, f)
 	}
 
-	// 3. Per-slot interference resolution.
+	// 3. Per-slot interference resolution. The parallel path marks its
+	// own seam-merge boundary after the pool barrier.
+	e.enter(PhaseResolve)
 	if e.par != nil {
 		e.resolveSlotParallel()
 	} else {
@@ -810,13 +844,16 @@ func (e *Engine) step(src Source) {
 	// transmissions registered, none completed yet) and the collision
 	// flag is fresh from resolution. Draws nothing from the PRNG, so the
 	// nil path and the attached path simulate bit-identically.
+	e.enter(PhaseObserver)
 	if e.slotObs != nil {
 		e.emitSlot()
 	}
 
 	// 4. Frame completions.
+	e.enter(PhaseDeliveries)
 	e.completeSlot()
 
+	e.enter(PhaseUntracked)
 	e.now++
 }
 

@@ -17,11 +17,42 @@
 // nothing, so per-slot dispatch stays cheap enough for microsecond-scale
 // slots. Close releases the goroutines; engines with Parallel.Workers>0
 // own a pool and must be Closed after their last step.
+//
+// Telemetry: SetClock arms optional per-worker accounting — task counts
+// and busy/parked nanoseconds, two clock reads and three atomic adds per
+// worker per Run. The clock is an injected func() int64 value (the
+// runtime profiler supplies one derived from its own injectable clock),
+// never a package-level wall-clock call, so the determinism check's
+// structural guarantee — no time.Now reachable from the slot path —
+// holds with telemetry armed. With no clock set the per-batch telemetry
+// branch is a single nil check. Telemetry observes, it does not steer:
+// no task ordering, PRNG draw or engine state depends on it.
 package tilepar
 
 import (
 	"sync/atomic"
 )
+
+// WorkerStats is one worker's cumulative telemetry: how many task
+// indices it executed, how long it spent executing batches (BusyNs,
+// including its share of the fetch-add contention), and how long it sat
+// parked between batches (ParkedNs, measured from the end of one batch
+// to the start of the next — the pre-first-batch wait is not counted).
+type WorkerStats struct {
+	Tasks    int64 `json:"tasks"`
+	BusyNs   int64 `json:"busy_ns"`
+	ParkedNs int64 `json:"parked_ns"`
+}
+
+// workerCell is the atomic storage behind one worker's stats. Atomics,
+// not a mutex: Telemetry may be read from an HTTP goroutine mid-run
+// while the worker updates its own cell once per batch.
+type workerCell struct {
+	tasks   atomic.Int64
+	busy    atomic.Int64
+	parked  atomic.Int64
+	lastEnd atomic.Int64
+}
 
 // Pool is a fixed set of persistent worker goroutines executing indexed
 // task batches. The zero value is not usable; use NewPool. Run and Close
@@ -34,6 +65,10 @@ type Pool struct {
 	n       int
 	fn      func(int)
 	closed  bool
+
+	// clock arms telemetry (SetClock); cells hold per-worker counters.
+	clock func() int64
+	cells []workerCell
 }
 
 // NewPool starts a pool of the given size (minimum 1).
@@ -45,15 +80,44 @@ func NewPool(workers int) *Pool {
 		workers: workers,
 		start:   make(chan struct{}, workers),
 		done:    make(chan struct{}, workers),
+		cells:   make([]workerCell, workers),
 	}
 	for w := 0; w < workers; w++ {
-		go p.worker()
+		go p.worker(w)
 	}
 	return p
 }
 
 // Workers returns the pool size.
 func (p *Pool) Workers() int { return p.workers }
+
+// SetClock arms per-worker telemetry with a monotonic nanosecond clock.
+// Must be called from the owner goroutine before the first Run (the
+// start-channel handoff then publishes it to the workers); nil leaves
+// telemetry off. The clock is called from worker goroutines and must be
+// safe for concurrent use.
+func (p *Pool) SetClock(clock func() int64) { p.clock = clock }
+
+// Telemetry copies the per-worker counters into dst (grown as needed)
+// and returns it. Safe to call from any goroutine at any time — the
+// counters are atomics a worker updates once per batch — though a
+// mid-run read may see one worker's batch already folded and another's
+// still pending. All zeros until SetClock arms accounting.
+func (p *Pool) Telemetry(dst []WorkerStats) []WorkerStats {
+	if cap(dst) < p.workers {
+		dst = make([]WorkerStats, p.workers)
+	}
+	dst = dst[:p.workers]
+	for w := range p.cells {
+		c := &p.cells[w]
+		dst[w] = WorkerStats{
+			Tasks:    c.tasks.Load(),
+			BusyNs:   c.busy.Load(),
+			ParkedNs: c.parked.Load(),
+		}
+	}
+	return dst
+}
 
 // Run executes fn(i) exactly once for every i in [0,n), distributing
 // indices across the workers via an atomic counter, and returns after
@@ -88,15 +152,35 @@ func (p *Pool) Close() {
 }
 
 // worker drains task indices until the batch is exhausted, once per
-// start token, and exits when the pool closes.
-func (p *Pool) worker() {
+// start token, and exits when the pool closes. With telemetry armed it
+// brackets each batch with two clock reads; the gap since its previous
+// batch end is the parked time the utilization report charges to waiting.
+func (p *Pool) worker(id int) {
 	for range p.start {
+		clock := p.clock
+		var cell *workerCell
+		var t0 int64
+		if clock != nil {
+			cell = &p.cells[id]
+			t0 = clock()
+			if last := cell.lastEnd.Load(); last != 0 {
+				cell.parked.Add(t0 - last)
+			}
+		}
+		tasks := int64(0)
 		for {
 			i := int(p.next.Add(1)) - 1
 			if i >= p.n {
 				break
 			}
 			p.fn(i)
+			tasks++
+		}
+		if cell != nil {
+			t1 := clock()
+			cell.busy.Add(t1 - t0)
+			cell.tasks.Add(tasks)
+			cell.lastEnd.Store(t1)
 		}
 		p.done <- struct{}{}
 	}

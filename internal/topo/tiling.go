@@ -103,6 +103,18 @@ func (tl *Tiling) NumSeam() int { return tl.numSeam }
 // order. The slice is shared; callers must not modify it.
 func (tl *Tiling) Stations(tile int) []int32 { return tl.tiles[tile] }
 
+// Occupancy returns the per-tile station counts in tile-index order — a
+// fresh slice, safe to retain. It feeds the runtime profiler's load
+// imbalance index and the tiling-shape gauges: a tile's count is the
+// upper bound on the work its pool task can be handed in a slot.
+func (tl *Tiling) Occupancy() []int {
+	out := make([]int, len(tl.tiles))
+	for i, s := range tl.tiles {
+		out[i] = len(s)
+	}
+	return out
+}
+
 // DiscTouches reports whether a disc of radius r around p overlaps the
 // tile's bounding box — the per-transmission cull the tile workers use
 // to skip rows that cannot reach any station they own.
